@@ -1,0 +1,83 @@
+//! Criterion bench: per-decision latency of every policy (supports the
+//! §5.2/§7.7 claim that event-driven decisions are constant-time and
+//! negligible next to container startup latencies).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use rainbowcake_bench::make_policy;
+use rainbowcake_core::mem::MemMb;
+use rainbowcake_core::policy::{ContainerView, PolicyCtx};
+use rainbowcake_core::time::Instant;
+use rainbowcake_core::types::{ContainerId, FunctionId, Language, Layer};
+use rainbowcake_workloads::paper_catalog;
+
+fn view(f: FunctionId) -> ContainerView {
+    ContainerView {
+        id: ContainerId::new(1),
+        layer: Layer::User,
+        language: Some(Language::Python),
+        owner: Some(f),
+        packed: Vec::new(),
+        memory: MemMb::new(150),
+        idle_since: Instant::from_micros(5_000_000),
+        created_at: Instant::ZERO,
+        hits: 3,
+    }
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let catalog = paper_catalog();
+    let f = FunctionId::new(6); // DV-Py
+
+    let mut group = c.benchmark_group("on_arrival");
+    for name in ["OpenWhisk", "Histogram", "Pagurus", "RainbowCake"] {
+        let mut policy = make_policy(name, &catalog);
+        // Warm the histories.
+        for i in 0..32u64 {
+            let ctx = PolicyCtx {
+                now: Instant::from_micros(i * 10_000_000),
+                catalog: &catalog,
+            };
+            policy.on_arrival(&ctx, f);
+        }
+        let ctx = PolicyCtx {
+            now: Instant::from_micros(400_000_000),
+            catalog: &catalog,
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(policy.on_arrival(&ctx, black_box(f))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("on_idle_ttl");
+    for name in ["OpenWhisk", "Histogram", "FaasCache", "SEUSS", "Pagurus", "RainbowCake"] {
+        let mut policy = make_policy(name, &catalog);
+        let ctx = PolicyCtx {
+            now: Instant::from_micros(400_000_000),
+            catalog: &catalog,
+        };
+        let v = view(f);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(policy.on_idle(&ctx, black_box(&v))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("on_timeout");
+    for name in ["OpenWhisk", "SEUSS", "Pagurus", "RainbowCake"] {
+        let mut policy = make_policy(name, &catalog);
+        let ctx = PolicyCtx {
+            now: Instant::from_micros(400_000_000),
+            catalog: &catalog,
+        };
+        let v = view(f);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(policy.on_timeout(&ctx, black_box(&v))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

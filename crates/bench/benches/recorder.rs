@@ -1,0 +1,52 @@
+//! Criterion bench: history-recorder update and estimation costs, at
+//! catalog sizes from 20 to 10,000 functions (the §6.2 scalability
+//! claim: "one million functions only requires 250 MB" — updates and
+//! estimates must stay cheap as the catalog grows).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rainbowcake_core::history::{HistoryRecorder, ShareScope};
+use rainbowcake_core::time::Instant;
+use rainbowcake_core::types::{FunctionId, Language};
+use rainbowcake_workloads::synthetic_catalog;
+
+fn bench_recorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recorder");
+    for &n in &[20usize, 200, 2_000, 10_000] {
+        let catalog = synthetic_catalog(n);
+        let mut rec = HistoryRecorder::new(&catalog, 6).unwrap();
+        for i in 0..(n as u64 * 8) {
+            rec.record_arrival(
+                FunctionId::new((i % n as u64) as u32),
+                Instant::from_micros(i * 250_000),
+            );
+        }
+        let now = Instant::from_micros(n as u64 * 8 * 250_000);
+
+        group.bench_with_input(BenchmarkId::new("record_arrival", n), &n, |b, _| {
+            b.iter(|| rec.record_arrival(black_box(FunctionId::new(3)), black_box(now)))
+        });
+        group.bench_with_input(BenchmarkId::new("estimate_user_iat", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(rec.estimate_iat(
+                    ShareScope::Function(FunctionId::new(3)),
+                    0.8,
+                    now,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("estimate_lang_iat", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(rec.estimate_iat(
+                    ShareScope::Language(Language::Python),
+                    0.8,
+                    now,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recorder);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Runs the complete evaluation (every table and figure) and prints a
+//! compact paper-vs-measured summary. The per-experiment detail lives in
+//! the dedicated `table1`/`fig*`/`checkpoint` binaries; this binary is
+//! what EXPERIMENTS.md is generated from.
+
+use rainbowcake_bench::{
+    fn_avg_e2e_s, fn_avg_startup_ms, print_table, reduction_pct, Testbed, BASELINE_NAMES,
+};
+use rainbowcake_core::mem::MemMb;
+use rainbowcake_core::rainbow::RainbowCake;
+use rainbowcake_bench::make_policy;
+use rainbowcake_sim::{run, CheckpointConfig, SimConfig};
+use rainbowcake_trace::cv::paper_cv_sets;
+
+fn main() {
+    let bed = Testbed::paper_8h();
+    println!("=== RainbowCake reproduction: full evaluation ===");
+    println!(
+        "8-hour Azure-like trace, {} invocations, 20 functions, {} worker\n",
+        bed.trace.len(),
+        bed.config.memory_capacity
+    );
+
+    // ---- Headline table (Figs. 3, 6, 7, 8) ----
+    let reports = bed.run_all();
+    let rc = &reports[5];
+    println!("-- headline per-policy results (drives Figs. 3/6/7/8) --");
+    let mut rows = Vec::new();
+    for r in &reports {
+        rows.push(vec![
+            r.policy.clone(),
+            format!("{:.0}", fn_avg_startup_ms(r)),
+            format!("{:.2}", fn_avg_e2e_s(r)),
+            format!("{:.1}", r.avg_startup().as_millis_f64()),
+            format!("{:.2}", r.e2e_percentile(99.0).unwrap().as_secs_f64()),
+            format!("{:.0}", r.total_startup().as_secs_f64()),
+            format!("{:.0}", r.total_waste().value()),
+            format!("{}", r.cold_starts()),
+        ]);
+    }
+    print_table(
+        &[
+            "policy", "fn_avg_st_ms", "fn_avg_e2e_s", "inv_avg_st_ms", "p99_e2e_s",
+            "total_st_s", "waste_GBs", "cold",
+        ],
+        &rows,
+    );
+
+    println!("\n-- RainbowCake reductions vs each baseline (paper values in brackets) --");
+    let paper: [(&str, &str, &str); 5] = [
+        ("OpenWhisk", "97%", "60%"),
+        ("Histogram", "96%", "63%"),
+        ("FaasCache", "≈ -slightly worse-", "75%"),
+        ("SEUSS", "74%", "44%"),
+        ("Pagurus", "68%", "77%"),
+    ];
+    let mut rows = Vec::new();
+    for (r, (name, p_st, p_w)) in reports.iter().zip(paper) {
+        debug_assert_eq!(r.policy, name);
+        rows.push(vec![
+            r.policy.clone(),
+            format!(
+                "{:.0}%",
+                reduction_pct(fn_avg_startup_ms(r), fn_avg_startup_ms(rc))
+            ),
+            p_st.to_string(),
+            format!(
+                "{:.0}%",
+                reduction_pct(r.total_waste().value(), rc.total_waste().value())
+            ),
+            p_w.to_string(),
+        ]);
+    }
+    print_table(
+        &["baseline", "startup reduction", "paper", "waste reduction", "paper"],
+        &rows,
+    );
+
+    // ---- Fig. 9 ablation ----
+    println!("\n-- Fig. 9 ablation --");
+    let ns = bed.run("RainbowCake-NoSharing");
+    let nl = bed.run("RainbowCake-NoLayers");
+    let mut rows = Vec::new();
+    for (r, paper_st, paper_w) in [
+        (rc, "—", "—"),
+        (&ns, "+23%", "+25%"),
+        (&nl, "+14%", "+39%"),
+    ] {
+        rows.push(vec![
+            r.policy.clone(),
+            format!(
+                "{:+.0}%",
+                (r.total_startup().as_secs_f64() / rc.total_startup().as_secs_f64() - 1.0)
+                    * 100.0
+            ),
+            paper_st.to_string(),
+            format!(
+                "{:+.0}%",
+                (r.total_waste().value() / rc.total_waste().value() - 1.0) * 100.0
+            ),
+            paper_w.to_string(),
+        ]);
+    }
+    print_table(
+        &["variant", "startup vs full", "paper", "waste vs full", "paper"],
+        &rows,
+    );
+
+    // ---- Fig. 10 startup-type split ----
+    println!("\n-- Fig. 10 / §7.4 startup-type split under RainbowCake --");
+    let counts = rc.start_type_counts();
+    let total = rc.records.len() as f64;
+    for (t, c) in counts {
+        if c > 0 {
+            println!("  {:<12} {:>7}  ({:.1}%)", t.paper_label(), c, c as f64 / total * 100.0);
+        }
+    }
+
+    // ---- Fig. 12 robustness (condensed) ----
+    println!("\n-- Fig. 12 robustness: RainbowCake vs OpenWhisk across IAT CVs --");
+    let sets = paper_cv_sets(bed.catalog.len(), 0xC0FFEE);
+    let mut rows = Vec::new();
+    for (cv, trace) in &sets {
+        let mut row = vec![format!("{cv:.1}")];
+        for name in ["OpenWhisk", "RainbowCake"] {
+            let mut policy = make_policy(name, &bed.catalog);
+            let rep = run(&bed.catalog, policy.as_mut(), trace, &SimConfig::default());
+            row.push(format!(
+                "{:.0}/{:.0}",
+                rep.total_startup().as_secs_f64(),
+                rep.total_waste().value()
+            ));
+        }
+        rows.push(row);
+    }
+    print_table(&["cv", "OpenWhisk st_s/waste", "RainbowCake st_s/waste"], &rows);
+
+    // ---- Fig. 12(d): tight memory budget ----
+    println!("\n-- Fig. 12(d): startup under a 40 GB budget (CV = 1.0 set) --");
+    let (_, trace) = &sets[4];
+    let mut rows = Vec::new();
+    for name in BASELINE_NAMES {
+        let mut policy = make_policy(name, &bed.catalog);
+        let rep = run(
+            &bed.catalog,
+            policy.as_mut(),
+            trace,
+            &SimConfig::with_memory(MemMb::from_gb(40)),
+        );
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.0}", rep.total_startup().as_secs_f64()),
+        ]);
+    }
+    print_table(&["policy", "total_startup_s @40GB"], &rows);
+
+    // ---- §7.8 checkpoint ----
+    println!("\n-- §7.8 checkpoint integration --");
+    let mut policy = RainbowCake::with_defaults(&bed.catalog).expect("valid");
+    let cp = run(
+        &bed.catalog,
+        &mut policy,
+        &bed.trace,
+        &SimConfig {
+            checkpoint: Some(CheckpointConfig::default()),
+            ..bed.config.clone()
+        },
+    );
+    println!(
+        "  startup: {:.0}% reduction (paper: 36%), waste: {:+.0}% (paper: +15%)",
+        reduction_pct(
+            rc.avg_startup().as_millis_f64(),
+            cp.avg_startup().as_millis_f64()
+        ),
+        (cp.total_waste().value() / rc.total_waste().value() - 1.0) * 100.0
+    );
+
+    println!("\nDone. See the fig* binaries for per-figure detail.");
+}

@@ -1,0 +1,98 @@
+//! Fig. 6: average function startup (bottom) and end-to-end latency
+//! (top) per function for the six baselines, plus the §7.2 headline
+//! reductions computed over the per-function averages.
+
+use rainbowcake_bench::{
+    fn_avg_e2e_s, fn_avg_startup_ms, print_table, reduction_pct, Testbed, BASELINE_NAMES,
+};
+
+fn main() {
+    let bed = Testbed::paper_8h();
+    println!(
+        "Fig. 6: per-function average startup / E2E latency, {} invocations over 8 h\n",
+        bed.trace.len()
+    );
+    let reports = bed.run_all();
+    let names: Vec<String> = bed.catalog.iter().map(|p| p.name.clone()).collect();
+
+    // Per-function startup table (ms).
+    let mut rows = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let mut row = vec![name.clone()];
+        for r in &reports {
+            let cell = r
+                .per_function()
+                .iter()
+                .find(|s| s.function.index() == i)
+                .map(|s| format!("{:.0}", s.avg_startup.as_millis_f64()))
+                .unwrap_or_else(|| "-".into());
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    println!("average startup latency per function (ms):");
+    let headers: Vec<&str> = std::iter::once("fn")
+        .chain(BASELINE_NAMES.iter().copied())
+        .collect();
+    print_table(&headers, &rows);
+
+    // Per-function E2E table (s).
+    let mut rows = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let mut row = vec![name.clone()];
+        for r in &reports {
+            let cell = r
+                .per_function()
+                .iter()
+                .find(|s| s.function.index() == i)
+                .map(|s| format!("{:.2}", s.avg_e2e.as_secs_f64()))
+                .unwrap_or_else(|| "-".into());
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    println!("\naverage end-to-end latency per function (s):");
+    print_table(&headers, &rows);
+
+    // Headline reductions (paper: RainbowCake reduces avg E2E/startup by
+    // 69%/97% vs OpenWhisk, 60%/96% vs Histogram, 43%/74% vs SEUSS,
+    // 31%/68% vs Pagurus; slightly worse than FaasCache).
+    let rc_st = fn_avg_startup_ms(&reports[5]);
+    let rc_e2e = fn_avg_e2e_s(&reports[5]);
+    println!("\nheadline (mean of per-function averages):");
+    let paper = [
+        ("OpenWhisk", Some((69.0, 97.0))),
+        ("Histogram", Some((60.0, 96.0))),
+        ("FaasCache", None),
+        ("SEUSS", Some((43.0, 74.0))),
+        ("Pagurus", Some((31.0, 68.0))),
+        ("RainbowCake", None),
+    ];
+    let mut rows = Vec::new();
+    for (r, (pname, expected)) in reports.iter().zip(paper) {
+        debug_assert_eq!(r.policy, pname);
+        let st = fn_avg_startup_ms(r);
+        let e2e = fn_avg_e2e_s(r);
+        rows.push(vec![
+            r.policy.clone(),
+            format!("{:.0}", st),
+            format!("{:.2}", e2e),
+            format!("{:.0}%", reduction_pct(e2e, rc_e2e)),
+            format!("{:.0}%", reduction_pct(st, rc_st)),
+            expected
+                .map(|(e, s)| format!("{e:.0}%/{s:.0}%"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    print_table(
+        &[
+            "policy",
+            "fn_avg_startup_ms",
+            "fn_avg_e2e_s",
+            "RC e2e reduction",
+            "RC startup reduction",
+            "paper (e2e/startup)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,88 @@
+//! Fig. 12 (robustness): (a) trace timelines for IAT CVs 0.2-4.0,
+//! (b) total startup latency vs CV, (c) total memory waste vs CV,
+//! (d) total startup latency vs worker memory budget 40-280 GB.
+
+use rainbowcake_bench::{make_policy, print_table, BASELINE_NAMES};
+use rainbowcake_core::mem::MemMb;
+use rainbowcake_sim::{run, SimConfig};
+use rainbowcake_trace::cv::paper_cv_sets;
+use rainbowcake_trace::stats;
+use rainbowcake_workloads::paper_catalog;
+
+fn main() {
+    let catalog = paper_catalog();
+    let sets = paper_cv_sets(catalog.len(), 0xC0FFEE);
+
+    // (a) Trace characterization.
+    println!("Fig. 12(a): 1-hour trace sets (3,600 invocations each):");
+    let mut rows = Vec::new();
+    for (cv, trace) in &sets {
+        let per_min: Vec<f64> = trace
+            .arrivals_per_minute()
+            .iter()
+            .map(|&c| c as f64)
+            .collect();
+        let measured: Vec<f64> = (0..catalog.len() as u32)
+            .filter_map(|i| {
+                trace.iat_cv_for(rainbowcake_core::types::FunctionId::new(i))
+            })
+            .collect();
+        rows.push(vec![
+            format!("{cv:.1}"),
+            format!("{}", trace.len()),
+            format!("{:.2}", stats::mean(&measured).unwrap_or(0.0)),
+            format!("{:.0}", per_min.iter().cloned().fold(0.0, f64::max)),
+            format!("{:.2}", stats::cv(&per_min).unwrap_or(0.0)),
+        ]);
+    }
+    print_table(
+        &["target_cv", "invocations", "measured_iat_cv", "peak_per_min", "minute_cv"],
+        &rows,
+    );
+
+    // (b) + (c): startup and waste vs CV for all six policies.
+    println!("\nFig. 12(b): total startup latency (s) vs IAT CV:");
+    let mut startup_rows = Vec::new();
+    let mut waste_rows = Vec::new();
+    for (cv, trace) in &sets {
+        let mut srow = vec![format!("{cv:.1}")];
+        let mut wrow = vec![format!("{cv:.1}")];
+        for name in BASELINE_NAMES {
+            let mut policy = make_policy(name, &catalog);
+            let report = run(&catalog, policy.as_mut(), trace, &SimConfig::default());
+            srow.push(format!("{:.0}", report.total_startup().as_secs_f64()));
+            wrow.push(format!("{:.0}", report.total_waste().value()));
+        }
+        startup_rows.push(srow);
+        waste_rows.push(wrow);
+    }
+    let headers: Vec<&str> = std::iter::once("cv")
+        .chain(BASELINE_NAMES.iter().copied())
+        .collect();
+    print_table(&headers, &startup_rows);
+    println!("\nFig. 12(c): total memory waste (GB*s) vs IAT CV:");
+    print_table(&headers, &waste_rows);
+
+    // (d): startup vs memory budget on the CV=1.0 set.
+    println!("\nFig. 12(d): total startup latency (s) vs memory budget (CV = 1.0 set):");
+    let (_, trace) = &sets[4];
+    let mut rows = Vec::new();
+    for gb in (40..=280).step_by(40) {
+        let mut row = vec![format!("{gb}GB")];
+        for name in BASELINE_NAMES {
+            let mut policy = make_policy(name, &catalog);
+            let config = SimConfig::with_memory(MemMb::from_gb(gb));
+            let report = run(&catalog, policy.as_mut(), trace, &config);
+            row.push(format!("{:.0}", report.total_startup().as_secs_f64()));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("budget")
+        .chain(BASELINE_NAMES.iter().copied())
+        .collect();
+    print_table(&headers, &rows);
+
+    println!("\npaper shape: startup grows with burstiness for every policy but");
+    println!("RainbowCake grows slowest; its memory waste stays lowest across CVs; and");
+    println!("under tight budgets its layer-wise (smaller) containers keep startup low.");
+}

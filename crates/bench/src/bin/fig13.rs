@@ -1,0 +1,87 @@
+//! Fig. 13: inter-transition overhead (Bare→Lang, Lang→User, User→Run)
+//! as concurrent invocations scale from 100 to 1,000.
+//!
+//! Two measurements: (1) the contention model directly (mean ± max over
+//! many samples), and (2) an end-to-end concurrency storm through the
+//! simulator, reading the overheads actually charged.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rainbowcake_bench::print_table;
+use rainbowcake_core::rainbow::RainbowCake;
+use rainbowcake_core::time::{Instant, Micros};
+use rainbowcake_sim::concurrency::transition_overhead;
+use rainbowcake_sim::{run, SimConfig};
+use rainbowcake_trace::{Arrival, Trace};
+use rainbowcake_workloads::{paper_catalog, TRANSITIONS};
+
+fn main() {
+    println!("Fig. 13: inter-transition overhead vs concurrency\n");
+    let cfg = SimConfig::default();
+    let mut rng = StdRng::seed_from_u64(13);
+
+    println!("(model) mean overhead in ms over 10,000 samples:");
+    let mut rows = Vec::new();
+    for conc in (100..=1000).step_by(100) {
+        let sample = |base: Micros, rng: &mut StdRng| {
+            let total: f64 = (0..10_000)
+                .map(|_| {
+                    transition_overhead(
+                        base,
+                        conc,
+                        cfg.contention_coeff,
+                        cfg.transition_jitter,
+                        rng,
+                    )
+                    .as_millis_f64()
+                })
+                .sum();
+            total / 10_000.0
+        };
+        rows.push(vec![
+            format!("{conc}"),
+            format!("{:.2}", sample(TRANSITIONS.b_l, &mut rng)),
+            format!("{:.2}", sample(TRANSITIONS.l_u, &mut rng)),
+            format!("{:.2}", sample(TRANSITIONS.u_run, &mut rng)),
+        ]);
+    }
+    print_table(&["concurrent", "B-L_ms", "L-U_ms", "U-Run_ms"], &rows);
+
+    // End-to-end: a one-minute storm of N concurrent invocations of one
+    // long-running function.
+    println!("\n(end-to-end) startup under a cold concurrency storm (ramp absorption):");
+    let catalog = paper_catalog();
+    let vp = catalog.by_name("VP-Py").expect("VP-Py exists").id;
+    let mut rows = Vec::new();
+    for conc in [100usize, 400, 700, 1000] {
+        // All arrivals in the first second; VP-Py runs ~6 s, so all are
+        // concurrently in flight.
+        let arrivals: Vec<Arrival> = (0..conc)
+            .map(|i| Arrival {
+                time: Instant::from_micros(i as u64 * 10_000),
+                function: vp,
+            })
+            .collect();
+        let trace = Trace::from_arrivals(Micros::from_mins(5), arrivals);
+        let mut policy = RainbowCake::with_defaults(&catalog).expect("valid");
+        let report = run(&catalog, &mut policy, &trace, &cfg);
+        let max_st = report
+            .records
+            .iter()
+            .map(|r| r.startup.as_millis_f64())
+            .fold(0.0, f64::max);
+        rows.push(vec![
+            format!("{conc}"),
+            format!("{}", report.records.len()),
+            format!("{:.1}", report.avg_startup().as_millis_f64()),
+            format!("{:.1}", max_st),
+        ]);
+    }
+    print_table(
+        &["concurrent", "completed", "avg_startup_ms", "max_startup_ms"],
+        &rows,
+    );
+    println!("\npaper: all three hand-offs stay in the tens of milliseconds with only");
+    println!("negligible fluctuation as concurrency grows to 1,000.");
+}

@@ -1,0 +1,44 @@
+//! Fig. 14: relative startup-latency breakdown of the 20 functions —
+//! the three layer installs plus the three inter-transition overheads
+//! (B-L, L-U, U-Run) as fractions of the total cold start.
+
+use rainbowcake_bench::print_table;
+use rainbowcake_workloads::paper_catalog;
+
+fn main() {
+    println!("Fig. 14: startup latency ratio breakdown (fractions of cold start)\n");
+    let catalog = paper_catalog();
+    let mut max_overhead: f64 = 0.0;
+    let rows: Vec<Vec<String>> = catalog
+        .iter()
+        .map(|p| {
+            let total = p.cold_startup().as_secs_f64();
+            let frac = |x: rainbowcake_core::time::Micros| x.as_secs_f64() / total;
+            let overhead = frac(p.transitions.total());
+            max_overhead = max_overhead.max(overhead);
+            vec![
+                p.name.clone(),
+                format!("{:.3}", frac(p.stages.bare)),
+                format!("{:.3}", frac(p.transitions.b_l)),
+                format!("{:.3}", frac(p.stages.lang)),
+                format!("{:.3}", frac(p.transitions.l_u)),
+                format!("{:.3}", frac(p.stages.user)),
+                format!("{:.3}", frac(p.transitions.u_run)),
+                format!("{:.1}%", overhead * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &["fn", "Bare", "B-L", "Lang", "L-U", "User", "U-Run", "total overhead"],
+        &rows,
+    );
+    println!(
+        "\nmeasured: worst-case total inter-transition overhead = {:.1}% of startup",
+        max_overhead * 100.0
+    );
+    println!("paper: total inter-transition overhead (B-L + L-U + U-Run) is < 3%.");
+    assert!(
+        max_overhead < 0.03,
+        "transition overhead exceeded the paper's 3% bound"
+    );
+}

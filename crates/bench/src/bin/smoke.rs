@@ -1,0 +1,67 @@
+//! Quick cross-policy smoke run: headline metrics and start-type
+//! breakdown per policy. Usage: `smoke [hours]` (default 1).
+//!
+//! The real experiments live in the `table1`/`fig*`/`checkpoint`
+//! binaries; this one exists for fast iteration while developing.
+
+use rainbowcake_bench::{print_table, Testbed, BASELINE_NAMES};
+
+fn main() {
+    let hours: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let bed = Testbed::paper_hours(hours);
+    println!(
+        "{}-hour Azure-like trace: {} invocations, 20 functions, {} worker\n",
+        hours,
+        bed.trace.len(),
+        bed.config.memory_capacity
+    );
+    let mut rows = Vec::new();
+    for name in BASELINE_NAMES {
+        let r = bed.run(name);
+        let per_fn = r.per_function();
+        let fn_avg = per_fn
+            .iter()
+            .map(|s| s.avg_startup.as_millis_f64())
+            .sum::<f64>()
+            / per_fn.len().max(1) as f64;
+        let counts = r.start_type_counts();
+        let by = |label: &str| {
+            counts
+                .iter()
+                .filter(|(t, _)| t.paper_label() == label)
+                .map(|&(_, c)| c)
+                .sum::<usize>()
+        };
+        rows.push(vec![
+            r.policy.clone(),
+            format!("{:.1}", r.avg_startup().as_millis_f64()),
+            format!("{:.0}", fn_avg),
+            format!("{:.2}", r.avg_e2e().as_secs_f64()),
+            format!("{:.2}", r.e2e_percentile(99.0).unwrap().as_secs_f64()),
+            format!("{:.0}", r.total_waste().value()),
+            format!(
+                "{}/{}/{}/{}/{}",
+                by("User") + by("User(snap)") + by("User(shared)"),
+                by("Lang"),
+                by("Bare"),
+                by("Load"),
+                by("Cold")
+            ),
+        ]);
+    }
+    print_table(
+        &[
+            "policy",
+            "avg_startup_ms",
+            "fn_avg_st_ms",
+            "avg_e2e_s",
+            "p99_e2e_s",
+            "waste_GBs",
+            "user/lang/bare/load/cold",
+        ],
+        &rows,
+    );
+}

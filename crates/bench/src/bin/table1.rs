@@ -1,0 +1,33 @@
+//! Table 1: characterization of the 20 serverless applications
+//! (language, function, domain) plus the calibrated cost profile behind
+//! each row.
+
+use rainbowcake_bench::print_table;
+use rainbowcake_workloads::paper_catalog;
+
+fn main() {
+    println!("Table 1: Characterizations of serverless applications\n");
+    let catalog = paper_catalog();
+    let rows: Vec<Vec<String>> = catalog
+        .iter()
+        .map(|p| {
+            vec![
+                p.language.to_string(),
+                p.name.clone(),
+                p.domain.to_string(),
+                format!("{:.0}", p.cold_startup().as_millis_f64()),
+                format!("{}", p.memory_at(rainbowcake_core::types::Layer::User)),
+                format!("{:.0}", p.exec.mean.as_millis_f64()),
+            ]
+        })
+        .collect();
+    print_table(
+        &["Language", "Function", "Domain", "cold_ms", "user_mem", "exec_ms"],
+        &rows,
+    );
+    println!("\npaper: 20 functions — 6 Node.js, 9 Python, 5 Java across 5 domains");
+    let js = catalog.language_group(rainbowcake_core::types::Language::NodeJs).len();
+    let py = catalog.language_group(rainbowcake_core::types::Language::Python).len();
+    let java = catalog.language_group(rainbowcake_core::types::Language::Java).len();
+    println!("measured: {js} Node.js, {py} Python, {java} Java");
+}

@@ -1,0 +1,17 @@
+//! # rainbowcake-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! RainbowCake paper. Each `src/bin/*.rs` binary reproduces one
+//! table/figure (see DESIGN.md §4 for the index); `benches/` holds
+//! criterion micro-benchmarks of policy decision overhead and engine
+//! throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod suite;
+
+pub use suite::{
+    fn_avg_e2e_s, fn_avg_startup_ms, make_policy, print_table, reduction_pct, Testbed,
+    BASELINE_NAMES,
+};

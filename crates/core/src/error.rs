@@ -1,0 +1,45 @@
+//! Error types for the core crate.
+
+use std::fmt;
+
+/// Returned when a policy or model is configured with invalid
+/// parameters (e.g. a cost knob outside `(0, 1)` or a zero-sized
+/// history window).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates an error with a human-readable cause.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable cause.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_cause() {
+        let e = ConfigError::new("p out of range");
+        assert_eq!(e.to_string(), "invalid configuration: p out of range");
+        assert_eq!(e.message(), "p out of range");
+    }
+}

@@ -1,0 +1,513 @@
+//! The History Recorder: sharing-aware invocation modeling (§5.1).
+//!
+//! For every function the recorder keeps a sliding window of the latest
+//! `n` invocation arrivals and fits a Poisson rate
+//! `λ_f = n / (j − j′)` where `j` is the **current** timestamp and `j′`
+//! the stalest arrival in the window — so a function's fitted rate
+//! decays while it stays silent, which is what lets keep-alive windows
+//! recomputed at downgrade time (Alg. 2) stretch as the pool cools
+//! down. Because sums of independent Poisson processes
+//! are Poisson, the arrival process of *hits on a container type* is
+//! modeled by the compound rate over the type's sharing set (Eq. 2):
+//!
+//! * `User` layer of `f` — just `λ_f`;
+//! * `Lang` layer of language `L` — `Σ λ_f` over functions of `L`;
+//! * `Bare` layer — `Σ λ_f` over all functions.
+//!
+//! Inter-arrival times of a Poisson process are exponential (Eq. 3), so
+//! given a confidence quantile `p` the expected next hit arrives within
+//! `IAT(k, p) = −ln(1 − p) / λ(k)` (Eq. 4).
+//!
+//! The recorder also keeps per-function sliding windows of the observed
+//! startup latency and idle memory footprint per layer (Eq. 5), which
+//! the keep-alive algorithm needs for the β bound (Eq. 6).
+
+use std::collections::VecDeque;
+
+use crate::error::ConfigError;
+use crate::mem::MemMb;
+use crate::profile::Catalog;
+use crate::time::{Instant, Micros};
+use crate::types::{FunctionId, Language, Layer};
+
+/// The sharing set whose compound arrival rate is being queried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShareScope {
+    /// Hits on a `User` container of one function.
+    Function(FunctionId),
+    /// Hits on a `Lang` container of one language.
+    Language(Language),
+    /// Hits on a `Bare` container (any function).
+    Global,
+}
+
+impl ShareScope {
+    /// The scope matching a container of `layer` (owned by `f`, speaking
+    /// `language`). This is the `F^(k)` of Eq. 2.
+    pub fn for_layer(layer: Layer, f: FunctionId, language: Language) -> Self {
+        match layer {
+            Layer::User => ShareScope::Function(f),
+            Layer::Lang => ShareScope::Language(language),
+            Layer::Bare => ShareScope::Global,
+        }
+    }
+}
+
+/// Solves Eq. 4: the `p`-quantile of an exponential inter-arrival
+/// distribution with rate `lambda_per_sec`.
+///
+/// Returns [`Micros::MAX`] when the rate is not positive (no information
+/// yet — "an arrival may never come").
+///
+/// # Panics
+///
+/// Panics in debug builds if `p` is outside `[0, 1)`.
+pub fn iat_quantile(lambda_per_sec: f64, p: f64) -> Micros {
+    debug_assert!((0.0..1.0).contains(&p), "quantile must be in [0, 1)");
+    if lambda_per_sec <= 0.0 || !lambda_per_sec.is_finite() {
+        return Micros::MAX;
+    }
+    let secs = -(1.0 - p).ln() / lambda_per_sec;
+    Micros::from_secs_f64(secs)
+}
+
+/// A bounded window of `f64` samples with an O(1) running mean.
+#[derive(Debug, Clone, Default)]
+struct StatWindow {
+    samples: VecDeque<f64>,
+    cap: usize,
+    sum: f64,
+}
+
+impl StatWindow {
+    fn new(cap: usize) -> Self {
+        StatWindow {
+            samples: VecDeque::with_capacity(cap),
+            cap,
+            sum: 0.0,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        if self.samples.len() == self.cap {
+            if let Some(old) = self.samples.pop_front() {
+                self.sum -= old;
+            }
+        }
+        self.samples.push_back(v);
+        self.sum += v;
+    }
+
+    fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.samples.len() as f64)
+        }
+    }
+}
+
+/// Per-function recorder state.
+#[derive(Debug, Clone)]
+struct FunctionHistory {
+    arrivals: VecDeque<Instant>,
+    /// Observed startup latency per layer (seconds), Eq. 5 window.
+    startup: [StatWindow; 3],
+    /// Observed idle memory per layer (MB), Eq. 5 window.
+    memory: [StatWindow; 3],
+}
+
+impl FunctionHistory {
+    fn new(window: usize) -> Self {
+        FunctionHistory {
+            arrivals: VecDeque::with_capacity(window),
+            startup: [
+                StatWindow::new(window),
+                StatWindow::new(window),
+                StatWindow::new(window),
+            ],
+            memory: [
+                StatWindow::new(window),
+                StatWindow::new(window),
+                StatWindow::new(window),
+            ],
+        }
+    }
+
+    /// `λ_f = n / (now − j′)`: decays while the function is silent.
+    fn rate_at(&self, now: Instant) -> f64 {
+        if self.arrivals.len() < 2 {
+            return 0.0;
+        }
+        let oldest = *self.arrivals.front().expect("non-empty window");
+        let span = now.duration_since(oldest).max(Micros::from_micros(1));
+        self.arrivals.len() as f64 / span.as_secs_f64()
+    }
+}
+
+fn layer_idx(layer: Layer) -> usize {
+    match layer {
+        Layer::Bare => 0,
+        Layer::Lang => 1,
+        Layer::User => 2,
+    }
+}
+
+fn lang_idx(language: Language) -> usize {
+    match language {
+        Language::NodeJs => 0,
+        Language::Python => 1,
+        Language::Java => 2,
+    }
+}
+
+/// Sharing-aware invocation history recorder (§5.1).
+///
+/// ```
+/// use rainbowcake_core::history::{HistoryRecorder, ShareScope};
+/// use rainbowcake_core::profile::{Catalog, FunctionProfile};
+/// use rainbowcake_core::time::{Instant, Micros};
+/// use rainbowcake_core::types::{FunctionId, Language};
+///
+/// let mut catalog = Catalog::new();
+/// let f = catalog.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Python));
+/// let mut rec = HistoryRecorder::new(&catalog, 6).unwrap();
+///
+/// // One arrival every 10 s, the last at t = 50 s.
+/// let mut t = Instant::ZERO;
+/// for _ in 0..6 {
+///     rec.record_arrival(f, t);
+///     t = t + Micros::from_secs(10);
+/// }
+/// let now = Instant::from_micros(50_000_000);
+/// let iat = rec.estimate_iat(ShareScope::Function(f), 0.8, now);
+/// // lambda = 6 arrivals / 50 s window; -ln(0.2)/lambda ≈ 13.4 s
+/// assert!(iat > Micros::from_secs(12) && iat < Micros::from_secs(15));
+/// // The rate decays while the function is silent, so the same query
+/// // ten minutes later expects a much longer wait.
+/// let later = now + Micros::from_mins(10);
+/// assert!(rec.estimate_iat(ShareScope::Function(f), 0.8, later) > iat * 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistoryRecorder {
+    window: usize,
+    functions: Vec<FunctionHistory>,
+    /// Function ids per language (the Lang sharing sets).
+    lang_groups: [Vec<usize>; 3],
+}
+
+impl HistoryRecorder {
+    /// Creates a recorder for every function in `catalog` with sliding
+    /// window size `window` (the paper's `n`, default 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `window` is zero.
+    pub fn new(catalog: &Catalog, window: usize) -> Result<Self, ConfigError> {
+        if window == 0 {
+            return Err(ConfigError::new("history window must be >= 1"));
+        }
+        let mut lang_groups: [Vec<usize>; 3] = Default::default();
+        for p in catalog.iter() {
+            lang_groups[lang_idx(p.language)].push(p.id.index());
+        }
+        Ok(HistoryRecorder {
+            window,
+            functions: (0..catalog.len())
+                .map(|_| FunctionHistory::new(window))
+                .collect(),
+            lang_groups,
+        })
+    }
+
+    /// The configured window size `n`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of tracked functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether no functions are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Records an invocation arrival for `f` at time `now` (sliding the
+    /// Eq. 5 window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not in the catalog the recorder was built from.
+    pub fn record_arrival(&mut self, f: FunctionId, now: Instant) {
+        let h = &mut self.functions[f.index()];
+        if h.arrivals.len() == self.window {
+            h.arrivals.pop_front();
+        }
+        h.arrivals.push_back(now);
+    }
+
+    /// Records an observed (startup latency, idle memory) sample for a
+    /// container of `f` at `layer` — the Eq. 5 sliding windows.
+    pub fn record_observation(
+        &mut self,
+        f: FunctionId,
+        layer: Layer,
+        startup: Micros,
+        memory: MemMb,
+    ) {
+        let h = &mut self.functions[f.index()];
+        h.startup[layer_idx(layer)].push(startup.as_secs_f64());
+        h.memory[layer_idx(layer)].push(memory.as_mb() as f64);
+    }
+
+    /// The fitted per-second rate `λ_f` for one function as of `now`
+    /// (0 until two arrivals are in the window). The rate decays while
+    /// the function stays silent, because the fit divides the window
+    /// size by the age of its stalest arrival.
+    pub fn function_rate(&self, f: FunctionId, now: Instant) -> f64 {
+        self.functions[f.index()].rate_at(now)
+    }
+
+    /// The compound per-second rate `λ^(k)` for a sharing scope as of
+    /// `now` (Eq. 2).
+    pub fn rate(&self, scope: ShareScope, now: Instant) -> f64 {
+        match scope {
+            ShareScope::Function(f) => self.function_rate(f, now),
+            ShareScope::Language(l) => self.lang_groups[lang_idx(l)]
+                .iter()
+                .map(|&i| self.functions[i].rate_at(now))
+                .sum(),
+            ShareScope::Global => self
+                .functions
+                .iter()
+                .map(|h| h.rate_at(now))
+                .sum(),
+        }
+    }
+
+    /// Eq. 4: the estimated inter-arrival time of hits on `scope` at
+    /// confidence quantile `p`, evaluated at `now`. Returns
+    /// [`Micros::MAX`] when the scope has no fitted rate yet.
+    pub fn estimate_iat(&self, scope: ShareScope, p: f64, now: Instant) -> Micros {
+        iat_quantile(self.rate(scope, now), p)
+    }
+
+    /// Eq. 5 average observed startup latency for containers of `f` at
+    /// `layer`, if any samples were recorded.
+    pub fn avg_startup(&self, f: FunctionId, layer: Layer) -> Option<Micros> {
+        self.functions[f.index()].startup[layer_idx(layer)]
+            .mean()
+            .map(Micros::from_secs_f64)
+    }
+
+    /// Eq. 5 average observed idle memory for containers of `f` at
+    /// `layer`, if any samples were recorded.
+    pub fn avg_memory(&self, f: FunctionId, layer: Layer) -> Option<MemMb> {
+        self.functions[f.index()].memory[layer_idx(layer)]
+            .mean()
+            .map(|mb| MemMb::new(mb.round().max(0.0) as u64))
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::FunctionProfile;
+
+    fn setup() -> (Catalog, HistoryRecorder) {
+        let mut c = Catalog::new();
+        for lang in [Language::Python, Language::Python, Language::Java] {
+            c.push(FunctionProfile::synthetic(FunctionId::new(0), lang));
+        }
+        let r = HistoryRecorder::new(&c, 6).unwrap();
+        (c, r)
+    }
+
+    fn fid(i: u32) -> FunctionId {
+        FunctionId::new(i)
+    }
+
+    fn at(secs: u64) -> Instant {
+        Instant::from_micros(secs * 1_000_000)
+    }
+
+    #[test]
+    fn window_must_be_positive() {
+        let (c, _) = setup();
+        assert!(HistoryRecorder::new(&c, 0).is_err());
+    }
+
+    #[test]
+    fn rate_zero_until_two_arrivals() {
+        let (_, mut r) = setup();
+        assert_eq!(r.function_rate(fid(0), at(0)), 0.0);
+        r.record_arrival(fid(0), at(0));
+        assert_eq!(r.function_rate(fid(0), at(5)), 0.0);
+        assert_eq!(
+            r.estimate_iat(ShareScope::Function(fid(0)), 0.8, at(5)),
+            Micros::MAX
+        );
+        r.record_arrival(fid(0), at(1));
+        assert!(r.function_rate(fid(0), at(1)) > 0.0);
+    }
+
+    #[test]
+    fn rate_matches_paper_formula() {
+        let (_, mut r) = setup();
+        // n arrivals, stalest at t=0, queried at t=10: lambda = n / 10 s.
+        for i in 0..6u64 {
+            r.record_arrival(fid(0), at(i * 2));
+        }
+        let lambda = r.function_rate(fid(0), at(10));
+        assert!((lambda - 6.0 / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_decays_while_silent() {
+        let (_, mut r) = setup();
+        for i in 0..6u64 {
+            r.record_arrival(fid(0), at(i * 10));
+        }
+        let fresh = r.function_rate(fid(0), at(50));
+        let stale = r.function_rate(fid(0), at(650));
+        assert!(stale < fresh / 10.0, "stale={stale} fresh={fresh}");
+        // And the IAT estimate stretches accordingly.
+        let scope = ShareScope::Function(fid(0));
+        assert!(r.estimate_iat(scope, 0.8, at(650)) > r.estimate_iat(scope, 0.8, at(50)));
+    }
+
+    #[test]
+    fn window_slides() {
+        let (_, mut r) = setup();
+        // Fast phase then slow phase: once the fast arrivals leave the
+        // window, the fitted rate reflects only the slow phase.
+        for i in 0..6u64 {
+            r.record_arrival(fid(0), at(i));
+        }
+        let fast = r.function_rate(fid(0), at(5));
+        for i in 0..6u64 {
+            r.record_arrival(fid(0), at(100 + i * 60));
+        }
+        let slow = r.function_rate(fid(0), at(100 + 5 * 60));
+        assert!(slow < fast / 10.0, "slow={slow} fast={fast}");
+    }
+
+    #[test]
+    fn compound_rates_sum_sharing_sets() {
+        let (_, mut r) = setup();
+        for i in 0..6u64 {
+            r.record_arrival(fid(0), at(i * 5)); // Python
+            r.record_arrival(fid(1), at(i * 5)); // Python
+            r.record_arrival(fid(2), at(i * 5)); // Java
+        }
+        let now = at(25);
+        let py = r.rate(ShareScope::Language(Language::Python), now);
+        let java = r.rate(ShareScope::Language(Language::Java), now);
+        let all = r.rate(ShareScope::Global, now);
+        assert!(
+            (py - (r.function_rate(fid(0), now) + r.function_rate(fid(1), now))).abs() < 1e-9
+        );
+        assert!((java - r.function_rate(fid(2), now)).abs() < 1e-9);
+        assert!((all - (py + java)).abs() < 1e-9);
+        assert_eq!(r.rate(ShareScope::Language(Language::NodeJs), now), 0.0);
+    }
+
+    #[test]
+    fn iat_shrinks_with_sharing() {
+        // Lang-scope IAT must be <= the individual function's IAT: more
+        // sharers, sooner the next hit (the paper's core insight).
+        let (_, mut r) = setup();
+        for i in 0..6u64 {
+            r.record_arrival(fid(0), at(i * 4));
+            r.record_arrival(fid(1), at(i * 4 + 1));
+        }
+        let now = at(22);
+        let user = r.estimate_iat(ShareScope::Function(fid(0)), 0.8, now);
+        let lang = r.estimate_iat(ShareScope::Language(Language::Python), 0.8, now);
+        let global = r.estimate_iat(ShareScope::Global, 0.8, now);
+        assert!(lang < user);
+        assert!(global <= lang);
+    }
+
+    #[test]
+    fn iat_monotone_in_quantile() {
+        let (_, mut r) = setup();
+        for i in 0..6u64 {
+            r.record_arrival(fid(0), at(i * 10));
+        }
+        let scope = ShareScope::Function(fid(0));
+        let lo = r.estimate_iat(scope, 0.1, at(50));
+        let hi = r.estimate_iat(scope, 0.9, at(50));
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn iat_quantile_formula() {
+        // lambda = 0.1/s, p = 0.8 -> -ln(0.2)/0.1 ≈ 16.09 s.
+        let iat = iat_quantile(0.1, 0.8);
+        assert!((iat.as_secs_f64() - 16.094).abs() < 0.01);
+        assert_eq!(iat_quantile(0.0, 0.8), Micros::MAX);
+        assert_eq!(iat_quantile(-1.0, 0.8), Micros::MAX);
+    }
+
+    #[test]
+    fn burst_at_same_instant_yields_tiny_iat() {
+        let (_, mut r) = setup();
+        for _ in 0..6 {
+            r.record_arrival(fid(0), at(42));
+        }
+        // Queried right at the burst: rate is huge but finite.
+        let iat = r.estimate_iat(ShareScope::Function(fid(0)), 0.8, at(42));
+        assert!(iat < Micros::from_millis(1));
+    }
+
+    #[test]
+    fn observation_windows_average() {
+        let (_, mut r) = setup();
+        assert_eq!(r.avg_startup(fid(0), Layer::User), None);
+        r.record_observation(fid(0), Layer::User, Micros::from_secs(2), MemMb::new(100));
+        r.record_observation(fid(0), Layer::User, Micros::from_secs(4), MemMb::new(300));
+        assert_eq!(
+            r.avg_startup(fid(0), Layer::User),
+            Some(Micros::from_secs(3))
+        );
+        assert_eq!(r.avg_memory(fid(0), Layer::User), Some(MemMb::new(200)));
+        // Other layers remain empty.
+        assert_eq!(r.avg_startup(fid(0), Layer::Bare), None);
+    }
+
+    #[test]
+    fn observation_window_is_bounded() {
+        let (c, _) = setup();
+        let mut r = HistoryRecorder::new(&c, 2).unwrap();
+        for s in [1u64, 2, 3, 4] {
+            r.record_observation(fid(0), Layer::Lang, Micros::from_secs(s), MemMb::new(10));
+        }
+        // Only the last two samples (3 s, 4 s) remain.
+        assert_eq!(
+            r.avg_startup(fid(0), Layer::Lang),
+            Some(Micros::from_secs_f64(3.5))
+        );
+    }
+
+    #[test]
+    fn share_scope_for_layer() {
+        let f = fid(1);
+        assert_eq!(
+            ShareScope::for_layer(Layer::User, f, Language::Python),
+            ShareScope::Function(f)
+        );
+        assert_eq!(
+            ShareScope::for_layer(Layer::Lang, f, Language::Python),
+            ShareScope::Language(Language::Python)
+        );
+        assert_eq!(
+            ShareScope::for_layer(Layer::Bare, f, Language::Python),
+            ShareScope::Global
+        );
+    }
+}

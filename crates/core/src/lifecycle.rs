@@ -1,0 +1,440 @@
+//! Container life cycle and state transitions (Fig. 5 of the paper).
+//!
+//! A container moves along the path `Null → Bare → Lang → User → Running`
+//! while layers are installed (pre-warm or serving an invocation), drops
+//! back to idle-`User` after execution, and peels layers off one at a time
+//! while keep-alive windows expire (`User → Lang → Bare → terminated`).
+//!
+//! [`LifecycleState`] plus [`LifecycleState::transition`] make every legal
+//! edge of Fig. 5 explicit, so the simulator cannot drive a container
+//! through an impossible path.
+
+use std::fmt;
+
+use crate::types::{FunctionId, Language, Layer};
+
+/// The observable state of a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LifecycleState {
+    /// Layers are being installed up to a target layer. `for_function`
+    /// is the function whose profile drives install latencies; once the
+    /// target is `User`, the container becomes specialized to it.
+    Initializing {
+        /// Target layer of the in-flight initialization.
+        target: Layer,
+        /// Function the initialization is performed for.
+        for_function: FunctionId,
+    },
+    /// Idle and keep-alive at `layer`. A `Lang`/`User` idle container
+    /// remembers its language; a `User` container its owner.
+    Idle {
+        /// The installed top layer.
+        layer: Layer,
+        /// Language runtime (present unless `layer == Bare`).
+        language: Option<Language>,
+        /// Owning function (present iff `layer == User`).
+        owner: Option<FunctionId>,
+    },
+    /// Executing an invocation of `function`.
+    Running {
+        /// The function being executed.
+        function: FunctionId,
+    },
+    /// Terminated; a terminal state.
+    Terminated,
+}
+
+/// An edge in the Fig. 5 state diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleEvent {
+    /// Initialization finished: the container becomes idle at its target
+    /// layer (pre-warm) — or starts running (invocation start is modeled
+    /// by `BeginExecution`).
+    InitComplete {
+        /// Language installed (if target ≥ Lang).
+        language: Option<Language>,
+        /// Owner installed (if target == User).
+        owner: Option<FunctionId>,
+    },
+    /// An invocation begins executing (requires an idle `User` container
+    /// or completed initialization).
+    BeginExecution {
+        /// Function to run; must match the idle container's owner.
+        function: FunctionId,
+    },
+    /// Execution finished; the container becomes idle at `User`.
+    ExecutionComplete,
+    /// Keep-alive expired and the policy chose to peel the top layer off.
+    Downgrade,
+    /// Keep-alive expired (or eviction) and the container is destroyed.
+    Terminate,
+    /// An idle container is upgraded in place for a (possibly different)
+    /// function: the partial warm-start path of §3.3.
+    BeginUpgrade {
+        /// Function the upgrade specializes the container for.
+        for_function: FunctionId,
+        /// New target layer (must be above the current one).
+        target: Layer,
+    },
+    /// An idle `User` container is re-specialized (renamed) to a
+    /// different function whose packages it already holds — the hand-off
+    /// step of container-sharing schemes like Pagurus.
+    Adopt {
+        /// The adopting function.
+        function: FunctionId,
+    },
+}
+
+/// Error returned when an event is applied to a state with no matching
+/// edge in Fig. 5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IllegalTransition {
+    /// State the container was in.
+    pub state: LifecycleState,
+    /// Event that had no edge from `state`.
+    pub event: LifecycleEvent,
+}
+
+impl fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "illegal container transition: {:?} on {:?}",
+            self.state, self.event
+        )
+    }
+}
+
+impl std::error::Error for IllegalTransition {}
+
+impl LifecycleState {
+    /// A fresh container that has just started initializing toward
+    /// `target` for `for_function`.
+    pub fn new_initializing(target: Layer, for_function: FunctionId) -> Self {
+        LifecycleState::Initializing {
+            target,
+            for_function,
+        }
+    }
+
+    /// Whether the container is idle (available for reuse or sharing).
+    pub fn is_idle(&self) -> bool {
+        matches!(self, LifecycleState::Idle { .. })
+    }
+
+    /// Whether the container has been terminated.
+    pub fn is_terminated(&self) -> bool {
+        matches!(self, LifecycleState::Terminated)
+    }
+
+    /// The installed (or in-flight target) top layer, if the container
+    /// still exists.
+    pub fn layer(&self) -> Option<Layer> {
+        match self {
+            LifecycleState::Initializing { target, .. } => Some(*target),
+            LifecycleState::Idle { layer, .. } => Some(*layer),
+            LifecycleState::Running { .. } => Some(Layer::User),
+            LifecycleState::Terminated => None,
+        }
+    }
+
+    /// Applies `event`, returning the successor state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IllegalTransition`] if Fig. 5 has no such edge — e.g.
+    /// downgrading a running container, or executing on a `Bare` idle
+    /// container without upgrading it first.
+    pub fn transition(
+        self,
+        event: LifecycleEvent,
+    ) -> Result<LifecycleState, IllegalTransition> {
+        use LifecycleEvent as E;
+        use LifecycleState as S;
+        match (self, event) {
+            (
+                S::Initializing { target, .. },
+                E::InitComplete { language, owner },
+            ) => {
+                // Consistency of the payload with the target layer.
+                let ok = match target {
+                    Layer::Bare => language.is_none() && owner.is_none(),
+                    Layer::Lang => language.is_some() && owner.is_none(),
+                    Layer::User => language.is_some() && owner.is_some(),
+                };
+                if !ok {
+                    return Err(IllegalTransition { state: self, event });
+                }
+                Ok(S::Idle {
+                    layer: target,
+                    language,
+                    owner,
+                })
+            }
+            (
+                S::Idle {
+                    layer: Layer::User,
+                    owner: Some(owner),
+                    ..
+                },
+                E::BeginExecution { function },
+            ) if owner == function => Ok(S::Running { function }),
+            // Running -> Idle carries a language payload the state does
+            // not know; it goes through `complete_execution` instead.
+            (S::Running { .. }, E::ExecutionComplete) => {
+                Err(IllegalTransition { state: self, event })
+            }
+            (S::Idle { layer, .. }, E::BeginUpgrade { for_function, target })
+                if layer < target =>
+            {
+                Ok(S::Initializing {
+                    target,
+                    for_function,
+                })
+            }
+            (
+                S::Idle {
+                    layer,
+                    language,
+                    ..
+                },
+                E::Downgrade,
+            ) => match layer.downgrade() {
+                Some(Layer::Lang) => Ok(S::Idle {
+                    layer: Layer::Lang,
+                    language,
+                    owner: None,
+                }),
+                Some(Layer::Bare) => Ok(S::Idle {
+                    layer: Layer::Bare,
+                    language: None,
+                    owner: None,
+                }),
+                _ => Err(IllegalTransition { state: self, event }),
+            },
+            (
+                S::Idle {
+                    layer: Layer::User,
+                    language,
+                    owner: Some(_),
+                },
+                E::Adopt { function },
+            ) => Ok(S::Idle {
+                layer: Layer::User,
+                language,
+                owner: Some(function),
+            }),
+            (S::Idle { .. }, E::Terminate) => Ok(S::Terminated),
+            (S::Initializing { .. }, E::Terminate) => Ok(S::Terminated),
+            _ => Err(IllegalTransition { state: self, event }),
+        }
+    }
+
+    /// Completes execution: `Running(f)` becomes idle `User` owned by `f`
+    /// with the given language. Separate from [`transition`] because the
+    /// language is not recoverable from the state itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IllegalTransition`] if the container is not running.
+    ///
+    /// [`transition`]: LifecycleState::transition
+    pub fn complete_execution(
+        self,
+        language: Language,
+    ) -> Result<LifecycleState, IllegalTransition> {
+        match self {
+            LifecycleState::Running { function } => Ok(LifecycleState::Idle {
+                layer: Layer::User,
+                language: Some(language),
+                owner: Some(function),
+            }),
+            _ => Err(IllegalTransition {
+                state: self,
+                event: LifecycleEvent::ExecutionComplete,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FunctionId = FunctionId::new(0);
+    const G: FunctionId = FunctionId::new(1);
+
+    fn idle_user() -> LifecycleState {
+        LifecycleState::Idle {
+            layer: Layer::User,
+            language: Some(Language::Python),
+            owner: Some(F),
+        }
+    }
+
+    #[test]
+    fn cold_path_init_to_idle_user() {
+        let s = LifecycleState::new_initializing(Layer::User, F);
+        let s = s
+            .transition(LifecycleEvent::InitComplete {
+                language: Some(Language::Python),
+                owner: Some(F),
+            })
+            .unwrap();
+        assert_eq!(s, idle_user());
+    }
+
+    #[test]
+    fn init_payload_must_match_target() {
+        let s = LifecycleState::new_initializing(Layer::Bare, F);
+        let err = s.transition(LifecycleEvent::InitComplete {
+            language: Some(Language::Python),
+            owner: None,
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn execution_cycle() {
+        let s = idle_user();
+        let s = s
+            .transition(LifecycleEvent::BeginExecution { function: F })
+            .unwrap();
+        assert_eq!(s, LifecycleState::Running { function: F });
+        let s = s.complete_execution(Language::Python).unwrap();
+        assert_eq!(s, idle_user());
+    }
+
+    #[test]
+    fn user_container_rejects_foreign_function() {
+        let s = idle_user();
+        assert!(s
+            .transition(LifecycleEvent::BeginExecution { function: G })
+            .is_err());
+    }
+
+    #[test]
+    fn downgrade_peels_layers_and_clears_identity() {
+        let s = idle_user();
+        let s = s.transition(LifecycleEvent::Downgrade).unwrap();
+        assert_eq!(
+            s,
+            LifecycleState::Idle {
+                layer: Layer::Lang,
+                language: Some(Language::Python),
+                owner: None,
+            }
+        );
+        let s = s.transition(LifecycleEvent::Downgrade).unwrap();
+        assert_eq!(
+            s,
+            LifecycleState::Idle {
+                layer: Layer::Bare,
+                language: None,
+                owner: None,
+            }
+        );
+        // A Bare container cannot downgrade further; it must terminate.
+        assert!(s.transition(LifecycleEvent::Downgrade).is_err());
+        let s = s.transition(LifecycleEvent::Terminate).unwrap();
+        assert!(s.is_terminated());
+    }
+
+    #[test]
+    fn partial_warm_start_via_upgrade() {
+        // A Lang container left by F is reused by G (same language):
+        // the sharing path at the bottom of Fig. 4.
+        let s = LifecycleState::Idle {
+            layer: Layer::Lang,
+            language: Some(Language::Python),
+            owner: None,
+        };
+        let s = s
+            .transition(LifecycleEvent::BeginUpgrade {
+                for_function: G,
+                target: Layer::User,
+            })
+            .unwrap();
+        let s = s
+            .transition(LifecycleEvent::InitComplete {
+                language: Some(Language::Python),
+                owner: Some(G),
+            })
+            .unwrap();
+        assert_eq!(
+            s.transition(LifecycleEvent::BeginExecution { function: G })
+                .unwrap(),
+            LifecycleState::Running { function: G }
+        );
+    }
+
+    #[test]
+    fn upgrade_must_move_up() {
+        let s = idle_user();
+        assert!(s
+            .transition(LifecycleEvent::BeginUpgrade {
+                for_function: F,
+                target: Layer::User,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn running_cannot_downgrade_or_terminate() {
+        let s = LifecycleState::Running { function: F };
+        assert!(s.transition(LifecycleEvent::Downgrade).is_err());
+        assert!(s.transition(LifecycleEvent::Terminate).is_err());
+    }
+
+    #[test]
+    fn adopt_renames_a_user_container() {
+        let s = idle_user();
+        let s = s.transition(LifecycleEvent::Adopt { function: G }).unwrap();
+        assert_eq!(
+            s,
+            LifecycleState::Idle {
+                layer: Layer::User,
+                language: Some(Language::Python),
+                owner: Some(G),
+            }
+        );
+        // The adopted container can now run G.
+        assert!(s
+            .transition(LifecycleEvent::BeginExecution { function: G })
+            .is_ok());
+    }
+
+    #[test]
+    fn adopt_requires_a_user_container() {
+        let lang = LifecycleState::Idle {
+            layer: Layer::Lang,
+            language: Some(Language::Python),
+            owner: None,
+        };
+        assert!(lang.transition(LifecycleEvent::Adopt { function: G }).is_err());
+        assert!(LifecycleState::Running { function: F }
+            .transition(LifecycleEvent::Adopt { function: G })
+            .is_err());
+    }
+
+    #[test]
+    fn terminated_is_terminal() {
+        let s = LifecycleState::Terminated;
+        assert!(s.transition(LifecycleEvent::Downgrade).is_err());
+        assert!(s.transition(LifecycleEvent::Terminate).is_err());
+        assert_eq!(s.layer(), None);
+    }
+
+    #[test]
+    fn layer_reporting() {
+        assert_eq!(idle_user().layer(), Some(Layer::User));
+        assert_eq!(
+            LifecycleState::Running { function: F }.layer(),
+            Some(Layer::User)
+        );
+        assert_eq!(
+            LifecycleState::new_initializing(Layer::Lang, F).layer(),
+            Some(Layer::Lang)
+        );
+    }
+}

@@ -1,0 +1,397 @@
+//! The policy interface: the contract between a cold-start mitigation
+//! policy and the platform (the simulator, or a real container pool).
+//!
+//! A [`Policy`] is event-driven, mirroring §5.2: the platform calls into
+//! it when an invocation arrives, when a container becomes idle, when an
+//! idle container's keep-alive TTL expires, when a scheduled pre-warm
+//! timer fires, and when memory pressure forces an eviction. The policy
+//! answers with decisions (TTLs, downgrade-vs-terminate, victim choice);
+//! the platform owns all mechanics.
+
+use crate::mem::MemMb;
+use crate::profile::{Catalog, FunctionProfile};
+use crate::time::{Instant, Micros};
+use crate::types::{ContainerId, FunctionId, Language, Layer};
+
+/// Read-only call context handed to every policy hook.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyCtx<'a> {
+    /// Current simulation time.
+    pub now: Instant,
+    /// The deployed functions.
+    pub catalog: &'a Catalog,
+}
+
+impl<'a> PolicyCtx<'a> {
+    /// Shorthand for the profile of `f`.
+    pub fn profile(&self, f: FunctionId) -> &'a FunctionProfile {
+        self.catalog.profile(f)
+    }
+}
+
+/// A policy's view of one container in the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerView {
+    /// Pool-unique id.
+    pub id: ContainerId,
+    /// Installed top layer.
+    pub layer: Layer,
+    /// Language runtime, if `layer >= Lang`.
+    pub language: Option<Language>,
+    /// Owning function, if `layer == User`.
+    pub owner: Option<FunctionId>,
+    /// Extra functions this container has been re-packed to serve
+    /// (container-sharing schemes à la Pagurus); empty otherwise.
+    pub packed: Vec<FunctionId>,
+    /// Current idle memory footprint.
+    pub memory: MemMb,
+    /// When the container last became idle.
+    pub idle_since: Instant,
+    /// When the container was created.
+    pub created_at: Instant,
+    /// Number of invocations this container has completed.
+    pub hits: u32,
+}
+
+/// How an idle container can serve an arriving invocation, ordered from
+/// warmest (cheapest startup) to coldest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReuseClass {
+    /// Full warm start: an idle `User` container of the same function.
+    WarmUser,
+    /// Partial warm start from a *snapshot* of the function's fully
+    /// initialized state (SEUSS-style): the container must be re-forked
+    /// and its user state restored, paying a fraction of the user-load
+    /// stage.
+    SnapshotUser,
+    /// Warm-ish start via a re-packed (shared) `User` container that
+    /// already holds this function's packages.
+    SharedPacked,
+    /// Partial warm start from an idle `Lang` container of the same
+    /// language (install the `User` layer).
+    SharedLang,
+    /// Partial warm start from an idle `Bare` container (install `Lang`
+    /// and `User` layers).
+    SharedBare,
+}
+
+/// Pre-warm request emitted from [`Policy::on_arrival`]: "after `delay`,
+/// consider warming a container for `function` up to `target`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrewarmRequest {
+    /// Function to pre-warm for.
+    pub function: FunctionId,
+    /// Delay from now until the pre-warm check fires (Alg. 1's
+    /// `Sleep(IAT)`).
+    pub delay: Micros,
+    /// Layer to warm up to (Alg. 1 warms full `User` containers).
+    pub target: Layer,
+}
+
+/// Everything a policy wants done in response to an arrival.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArrivalResponse {
+    /// Pre-warm timers to schedule.
+    pub prewarms: Vec<PrewarmRequest>,
+}
+
+impl ArrivalResponse {
+    /// A response that schedules nothing.
+    pub fn none() -> Self {
+        ArrivalResponse::default()
+    }
+
+    /// A response scheduling a single pre-warm.
+    pub fn prewarm(function: FunctionId, delay: Micros, target: Layer) -> Self {
+        ArrivalResponse {
+            prewarms: vec![PrewarmRequest {
+                function,
+                delay,
+                target,
+            }],
+        }
+    }
+}
+
+/// Decision when an idle container's keep-alive TTL expires (Alg. 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimeoutDecision {
+    /// Destroy the container, releasing all memory.
+    Terminate,
+    /// Peel the top layer off and keep the rest alive for `ttl`
+    /// (layer-wise keep-alive; only legal above `Bare`).
+    Downgrade {
+        /// Keep-alive window at the next layer down.
+        ttl: Micros,
+    },
+    /// Keep the container at `User` but install the packages of
+    /// `extra_functions` so they can reuse it warm (container sharing à
+    /// la Pagurus); keep alive for `ttl`. The platform inflates the
+    /// container's memory accordingly.
+    Repack {
+        /// Functions to pack alongside the owner.
+        extra_functions: Vec<FunctionId>,
+        /// Keep-alive window in the shared state.
+        ttl: Micros,
+    },
+}
+
+/// Decision when a scheduled pre-warm timer fires (Alg. 1 lines 3-6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrewarmDecision {
+    /// Do nothing (e.g. a warm container already exists).
+    Skip,
+    /// Start initializing a container up to `target`.
+    Warm {
+        /// Layer to initialize up to.
+        target: Layer,
+    },
+}
+
+/// A cold-start mitigation policy.
+///
+/// Implementations must be deterministic given the same event sequence;
+/// any randomness must come from seeds owned by the policy.
+pub trait Policy {
+    /// Short identifier used in reports (e.g. `"RainbowCake"`).
+    fn name(&self) -> &'static str;
+
+    /// Called on every invocation arrival, *before* container selection.
+    /// This is where histories are updated and pre-warm timers scheduled
+    /// (Alg. 1 lines 8-11).
+    fn on_arrival(&mut self, ctx: &PolicyCtx<'_>, f: FunctionId) -> ArrivalResponse {
+        let _ = (ctx, f);
+        ArrivalResponse::none()
+    }
+
+    /// Whether (and how) the idle container `c` may serve an invocation
+    /// of `f`. Returning `None` forbids the reuse.
+    ///
+    /// The default allows only exact `User`-layer reuse and re-packed
+    /// sharing — the behaviour of full-container caching schemes.
+    fn reuse_class(
+        &self,
+        ctx: &PolicyCtx<'_>,
+        f: FunctionId,
+        c: &ContainerView,
+    ) -> Option<ReuseClass> {
+        let _ = ctx;
+        if c.layer == Layer::User && c.owner == Some(f) {
+            Some(ReuseClass::WarmUser)
+        } else if c.layer == Layer::User && c.packed.contains(&f) {
+            Some(ReuseClass::SharedPacked)
+        } else {
+            None
+        }
+    }
+
+    /// Called when a container becomes idle (after completing an
+    /// execution, or after a pre-warm finishes). Returns the keep-alive
+    /// TTL for the container's current layer.
+    fn on_idle(&mut self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> Micros;
+
+    /// Called when an idle container's TTL expires; decides between
+    /// terminating, downgrading (layer-wise keep-alive), or re-packing.
+    fn on_timeout(&mut self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> TimeoutDecision;
+
+    /// Called when a pre-warm timer scheduled from [`on_arrival`] fires.
+    /// `has_idle_user` tells the policy whether an idle `User` container
+    /// of the function already exists (Alg. 1 line 3).
+    ///
+    /// [`on_arrival`]: Policy::on_arrival
+    fn on_prewarm_fire(
+        &mut self,
+        ctx: &PolicyCtx<'_>,
+        f: FunctionId,
+        has_idle_user: bool,
+    ) -> PrewarmDecision {
+        let _ = (ctx, f);
+        if has_idle_user {
+            PrewarmDecision::Skip
+        } else {
+            PrewarmDecision::Warm {
+                target: Layer::User,
+            }
+        }
+    }
+
+    /// Chooses an idle container to evict under memory pressure. The
+    /// default evicts the least-recently-idle container. Returning
+    /// `None` refuses to evict (the platform will then queue work).
+    ///
+    /// `candidates` is never empty.
+    fn select_victim(
+        &mut self,
+        ctx: &PolicyCtx<'_>,
+        candidates: &[ContainerView],
+    ) -> Option<ContainerId> {
+        let _ = ctx;
+        candidates
+            .iter()
+            .min_by_key(|c| (c.idle_since, c.id))
+            .map(|c| c.id)
+    }
+
+    /// Notification that a container was destroyed (TTL expiry or
+    /// eviction); lets stateful policies clean internal maps.
+    fn on_terminated(&mut self, ctx: &PolicyCtx<'_>, id: ContainerId) {
+        let _ = (ctx, id);
+    }
+}
+
+/// Startup latency `f` pays when reusing an idle container via `class`
+/// (the platform-side cost of each reuse tier). `packed_specialize` is
+/// the extra specialization cost of a re-packed container hit;
+/// `snapshot_restore_frac` is the fraction of the user-load stage paid
+/// when re-forking from a snapshot.
+pub fn reuse_startup(
+    profile: &FunctionProfile,
+    class: ReuseClass,
+    packed_specialize: Micros,
+    snapshot_restore_frac: f64,
+) -> Micros {
+    match class {
+        ReuseClass::WarmUser => profile.startup_from(Some(Layer::User)),
+        ReuseClass::SnapshotUser => {
+            profile.startup_from(Some(Layer::User))
+                + profile.stages.user.mul_f64(snapshot_restore_frac)
+        }
+        ReuseClass::SharedPacked => {
+            profile.startup_from(Some(Layer::User)) + packed_specialize
+        }
+        ReuseClass::SharedLang => profile.startup_from(Some(Layer::Lang)),
+        ReuseClass::SharedBare => profile.startup_from(Some(Layer::Bare)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::FunctionProfile;
+
+    struct FixedTtl;
+
+    impl Policy for FixedTtl {
+        fn name(&self) -> &'static str {
+            "FixedTtl"
+        }
+        fn on_idle(&mut self, _: &PolicyCtx<'_>, _: &ContainerView) -> Micros {
+            Micros::from_mins(10)
+        }
+        fn on_timeout(&mut self, _: &PolicyCtx<'_>, _: &ContainerView) -> TimeoutDecision {
+            TimeoutDecision::Terminate
+        }
+    }
+
+    fn view(layer: Layer, owner: Option<FunctionId>, idle_us: u64) -> ContainerView {
+        ContainerView {
+            id: ContainerId::new(idle_us),
+            layer,
+            language: Some(Language::Python),
+            owner,
+            packed: Vec::new(),
+            memory: MemMb::new(100),
+            idle_since: Instant::from_micros(idle_us),
+            created_at: Instant::ZERO,
+            hits: 0,
+        }
+    }
+
+    fn ctx(catalog: &Catalog) -> PolicyCtx<'_> {
+        PolicyCtx {
+            now: Instant::ZERO,
+            catalog,
+        }
+    }
+
+    #[test]
+    fn default_reuse_is_user_only() {
+        let mut catalog = Catalog::new();
+        let f = catalog.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Python,
+        ));
+        let g = catalog.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Python,
+        ));
+        let p = FixedTtl;
+        let c = ctx(&catalog);
+        assert_eq!(
+            p.reuse_class(&c, f, &view(Layer::User, Some(f), 0)),
+            Some(ReuseClass::WarmUser)
+        );
+        assert_eq!(p.reuse_class(&c, g, &view(Layer::User, Some(f), 0)), None);
+        assert_eq!(p.reuse_class(&c, f, &view(Layer::Lang, None, 0)), None);
+    }
+
+    #[test]
+    fn packed_containers_serve_packed_functions() {
+        let mut catalog = Catalog::new();
+        let f = catalog.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Python,
+        ));
+        let g = catalog.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Python,
+        ));
+        let p = FixedTtl;
+        let c = ctx(&catalog);
+        let mut v = view(Layer::User, Some(f), 0);
+        v.packed = vec![g];
+        assert_eq!(p.reuse_class(&c, g, &v), Some(ReuseClass::SharedPacked));
+    }
+
+    #[test]
+    fn default_victim_is_lru() {
+        let mut catalog = Catalog::new();
+        catalog.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Python,
+        ));
+        let mut p = FixedTtl;
+        let c = ctx(&catalog);
+        let cands = vec![view(Layer::User, None, 30), view(Layer::User, None, 10)];
+        assert_eq!(p.select_victim(&c, &cands), Some(ContainerId::new(10)));
+    }
+
+    #[test]
+    fn default_prewarm_follows_algorithm_1() {
+        let mut catalog = Catalog::new();
+        let f = catalog.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Python,
+        ));
+        let mut p = FixedTtl;
+        let c = ctx(&catalog);
+        assert_eq!(p.on_prewarm_fire(&c, f, true), PrewarmDecision::Skip);
+        assert_eq!(
+            p.on_prewarm_fire(&c, f, false),
+            PrewarmDecision::Warm {
+                target: Layer::User
+            }
+        );
+    }
+
+    #[test]
+    fn reuse_startup_ordering() {
+        let profile = FunctionProfile::synthetic(FunctionId::new(0), Language::Java);
+        let specialize = Micros::from_millis(30);
+        let warm = reuse_startup(&profile, ReuseClass::WarmUser, specialize, 0.3);
+        let snap = reuse_startup(&profile, ReuseClass::SnapshotUser, specialize, 0.3);
+        let packed = reuse_startup(&profile, ReuseClass::SharedPacked, specialize, 0.3);
+        let lang = reuse_startup(&profile, ReuseClass::SharedLang, specialize, 0.3);
+        let bare = reuse_startup(&profile, ReuseClass::SharedBare, specialize, 0.3);
+        assert!(warm < packed && packed < snap && snap < lang && lang < bare);
+        assert!(bare < profile.cold_startup());
+    }
+
+    #[test]
+    fn reuse_class_preference_order() {
+        assert!(ReuseClass::WarmUser < ReuseClass::SnapshotUser);
+        assert!(ReuseClass::SnapshotUser < ReuseClass::SharedPacked);
+        assert!(ReuseClass::SharedPacked < ReuseClass::SharedLang);
+        assert!(ReuseClass::SharedLang < ReuseClass::SharedBare);
+    }
+}

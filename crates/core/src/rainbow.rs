@@ -1,0 +1,576 @@
+//! The RainbowCake policy (§5): layer-wise, sharing-aware pre-warming
+//! and keep-alive, plus the two ablation variants of §7.3.
+
+use crate::cost::CostModel;
+use crate::error::ConfigError;
+use crate::history::{HistoryRecorder, ShareScope};
+use crate::policy::{
+    ArrivalResponse, ContainerView, Policy, PolicyCtx, ReuseClass, TimeoutDecision,
+};
+use crate::profile::Catalog;
+use crate::time::Micros;
+use crate::types::{ContainerId, FunctionId, Layer};
+
+/// Eviction order used under memory pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionOrder {
+    /// Evict the least-recently-idle container.
+    #[default]
+    Lru,
+    /// Evict the container with the highest memory per unit of saved
+    /// startup latency (frees the most memory per warmth sacrificed).
+    LayerAware,
+}
+
+/// Ablation variants of §7.3.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RainbowVariant {
+    /// The full design: sharing-aware modeling + layer-wise caching.
+    Full,
+    /// "RainbowCake w/o sharing-aware modeling": layer-wise caching with
+    /// fixed keep-alive TTLs per layer (the paper uses 5/3/2 minutes for
+    /// User/Lang/Bare).
+    NoSharing {
+        /// Fixed TTL at the `User` layer.
+        user_ttl: Micros,
+        /// Fixed TTL at the `Lang` layer.
+        lang_ttl: Micros,
+        /// Fixed TTL at the `Bare` layer.
+        bare_ttl: Micros,
+    },
+    /// "RainbowCake w/o layer caching": only `User` containers are
+    /// pre-warmed and kept alive; timeouts terminate instead of
+    /// downgrading (skipping the Lang and Bare phases).
+    NoLayers,
+}
+
+impl RainbowVariant {
+    /// The paper's fixed-TTL ablation settings (§7.3).
+    pub fn no_sharing_default() -> Self {
+        RainbowVariant::NoSharing {
+            user_ttl: Micros::from_mins(5),
+            lang_ttl: Micros::from_mins(3),
+            bare_ttl: Micros::from_mins(2),
+        }
+    }
+}
+
+/// Configuration of [`RainbowCake`] (the three knobs of §7.1/§7.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RainbowConfig {
+    /// Cost knob `α` of Eq. 1 (default 0.996).
+    pub alpha: f64,
+    /// IAT confidence quantile `p` of Eq. 4 (default 0.8).
+    pub quantile: f64,
+    /// Sliding-window size `n` of Eq. 5 (default 6).
+    pub window: usize,
+    /// Design variant (full or an ablation).
+    pub variant: RainbowVariant,
+    /// Victim selection under memory pressure.
+    pub eviction: EvictionOrder,
+}
+
+impl Default for RainbowConfig {
+    fn default() -> Self {
+        RainbowConfig {
+            alpha: CostModel::DEFAULT_ALPHA,
+            quantile: 0.8,
+            window: 6,
+            variant: RainbowVariant::Full,
+            eviction: EvictionOrder::Lru,
+        }
+    }
+}
+
+/// The RainbowCake policy: event-driven layer-wise pre-warming (Alg. 1)
+/// and keep-alive (Alg. 2) with sharing-aware TTLs (Eqs. 4-7).
+///
+/// ```
+/// use rainbowcake_core::rainbow::{RainbowCake, RainbowConfig};
+/// use rainbowcake_core::profile::{Catalog, FunctionProfile};
+/// use rainbowcake_core::types::{FunctionId, Language};
+///
+/// # fn main() -> Result<(), rainbowcake_core::error::ConfigError> {
+/// let mut catalog = Catalog::new();
+/// catalog.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Python));
+/// let policy = RainbowCake::new(&catalog, RainbowConfig::default())?;
+/// assert_eq!(policy.config().quantile, 0.8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RainbowCake {
+    config: RainbowConfig,
+    cost: CostModel,
+    recorder: HistoryRecorder,
+}
+
+impl RainbowCake {
+    /// Creates the policy for the functions in `catalog`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `alpha` is outside `(0, 1)`, the
+    /// quantile is outside `[0, 1)`, or the window is zero.
+    pub fn new(catalog: &Catalog, config: RainbowConfig) -> Result<Self, ConfigError> {
+        let cost = CostModel::new(config.alpha)?;
+        if !(0.0..1.0).contains(&config.quantile) {
+            return Err(ConfigError::new(format!(
+                "quantile must be in [0, 1), got {}",
+                config.quantile
+            )));
+        }
+        let recorder = HistoryRecorder::new(catalog, config.window)?;
+        Ok(RainbowCake {
+            config,
+            cost,
+            recorder,
+        })
+    }
+
+    /// Convenience constructor with the paper's default settings.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid catalog; kept fallible for uniformity.
+    pub fn with_defaults(catalog: &Catalog) -> Result<Self, ConfigError> {
+        RainbowCake::new(catalog, RainbowConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RainbowConfig {
+        &self.config
+    }
+
+    /// Read access to the history recorder (useful for inspection in
+    /// tests and reports).
+    pub fn recorder(&self) -> &HistoryRecorder {
+        &self.recorder
+    }
+
+    /// Eq. 5/6: the β idle-time bound for a container of `f` at `layer`,
+    /// from observed averages when available, falling back to the static
+    /// profile.
+    fn beta(&self, ctx: &PolicyCtx<'_>, f: FunctionId, layer: Layer) -> Micros {
+        let profile = ctx.profile(f);
+        let t = self
+            .recorder
+            .avg_startup(f, layer)
+            .unwrap_or_else(|| profile.stages.install(layer));
+        let m = self
+            .recorder
+            .avg_memory(f, layer)
+            .unwrap_or_else(|| profile.memory_at(layer));
+        self.cost.beta(t, m)
+    }
+
+    /// Eq. 7: the keep-alive TTL for a container of `f` sitting at
+    /// `layer`.
+    fn ttl(&self, ctx: &PolicyCtx<'_>, f: FunctionId, layer: Layer) -> Micros {
+        match &self.config.variant {
+            RainbowVariant::NoSharing {
+                user_ttl,
+                lang_ttl,
+                bare_ttl,
+            } => {
+                return match layer {
+                    Layer::User => *user_ttl,
+                    Layer::Lang => *lang_ttl,
+                    Layer::Bare => *bare_ttl,
+                };
+            }
+            RainbowVariant::Full | RainbowVariant::NoLayers => {}
+        }
+        let language = ctx.profile(f).language;
+        let scope = ShareScope::for_layer(layer, f, language);
+        let iat = self
+            .recorder
+            .estimate_iat(scope, self.config.quantile, ctx.now);
+        iat.min(self.beta(ctx, f, layer))
+    }
+
+    /// The function whose profile drives a container's cost estimates:
+    /// its owner if specialized, otherwise the heaviest plausible sharer
+    /// is approximated by the container's creator via `packed`/language.
+    fn anchor_function(&self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> FunctionId {
+        if let Some(owner) = c.owner {
+            return owner;
+        }
+        // Downgraded containers keep no owner; anchor on any function of
+        // the same language (they share runtime install costs), else on
+        // function 0.
+        if let Some(lang) = c.language {
+            if let Some(f) = ctx.catalog.iter().find(|p| p.language == lang) {
+                return f.id;
+            }
+        }
+        ctx.catalog
+            .iter()
+            .next()
+            .map(|p| p.id)
+            .unwrap_or(FunctionId::new(0))
+    }
+}
+
+impl Policy for RainbowCake {
+    fn name(&self) -> &'static str {
+        match self.config.variant {
+            RainbowVariant::Full => "RainbowCake",
+            RainbowVariant::NoSharing { .. } => "RainbowCake-NoSharing",
+            RainbowVariant::NoLayers => "RainbowCake-NoLayers",
+        }
+    }
+
+    fn on_arrival(&mut self, ctx: &PolicyCtx<'_>, f: FunctionId) -> ArrivalResponse {
+        self.recorder.record_arrival(f, ctx.now);
+        // Alg. 1: schedule a pre-warm check one predicted IAT from now.
+        let iat = self
+            .recorder
+            .estimate_iat(ShareScope::Function(f), self.config.quantile, ctx.now);
+        if iat == Micros::MAX {
+            // No fitted rate yet: nothing to schedule.
+            return ArrivalResponse::none();
+        }
+        ArrivalResponse::prewarm(f, iat, Layer::User)
+    }
+
+    fn reuse_class(
+        &self,
+        ctx: &PolicyCtx<'_>,
+        f: FunctionId,
+        c: &ContainerView,
+    ) -> Option<ReuseClass> {
+        match c.layer {
+            Layer::User if c.owner == Some(f) => Some(ReuseClass::WarmUser),
+            Layer::User => None,
+            Layer::Lang => {
+                if matches!(self.config.variant, RainbowVariant::NoLayers) {
+                    return None;
+                }
+                (c.language == Some(ctx.profile(f).language)).then_some(ReuseClass::SharedLang)
+            }
+            Layer::Bare => {
+                if matches!(self.config.variant, RainbowVariant::NoLayers) {
+                    return None;
+                }
+                Some(ReuseClass::SharedBare)
+            }
+        }
+    }
+
+    fn on_idle(&mut self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> Micros {
+        let f = self.anchor_function(ctx, c);
+        // Feed the Eq. 5 windows with what we actually observed.
+        self.recorder.record_observation(
+            f,
+            c.layer,
+            ctx.profile(f).stages.install(c.layer),
+            c.memory,
+        );
+        self.ttl(ctx, f, c.layer)
+    }
+
+    fn on_timeout(&mut self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> TimeoutDecision {
+        if matches!(self.config.variant, RainbowVariant::NoLayers) {
+            return TimeoutDecision::Terminate;
+        }
+        match c.layer.downgrade() {
+            None => TimeoutDecision::Terminate, // Bare containers die (Alg. 2 line 10).
+            Some(next) => {
+                let f = self.anchor_function(ctx, c);
+                TimeoutDecision::Downgrade {
+                    ttl: self.ttl(ctx, f, next),
+                }
+            }
+        }
+    }
+
+    fn select_victim(
+        &mut self,
+        ctx: &PolicyCtx<'_>,
+        candidates: &[ContainerView],
+    ) -> Option<ContainerId> {
+        match self.config.eviction {
+            EvictionOrder::Lru => candidates
+                .iter()
+                .min_by_key(|c| (c.idle_since, c.id))
+                .map(|c| c.id),
+            EvictionOrder::LayerAware => candidates
+                .iter()
+                .max_by(|a, b| {
+                    let score = |c: &ContainerView| {
+                        let f = self.anchor_function(ctx, c);
+                        let profile = ctx.profile(f);
+                        // Warmth = startup latency this container saves
+                        // over a cold start; evict where memory freed per
+                        // second of warmth lost is highest.
+                        let warmth = (profile.cold_startup()
+                            - profile.startup_from(Some(c.layer)))
+                        .as_secs_f64()
+                        .max(1e-9);
+                        c.memory.as_gb_f64() / warmth
+                    };
+                    score(a)
+                        .partial_cmp(&score(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.id.cmp(&b.id))
+                })
+                .map(|c| c.id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemMb;
+    use crate::profile::FunctionProfile;
+    use crate::time::Instant;
+    use crate::types::Language;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for lang in [Language::Python, Language::Python, Language::Java] {
+            c.push(FunctionProfile::synthetic(FunctionId::new(0), lang));
+        }
+        c
+    }
+
+    fn view(layer: Layer, owner: Option<FunctionId>, lang: Option<Language>) -> ContainerView {
+        ContainerView {
+            id: ContainerId::new(1),
+            layer,
+            language: lang,
+            owner,
+            packed: Vec::new(),
+            memory: MemMb::new(150),
+            idle_since: Instant::ZERO,
+            created_at: Instant::ZERO,
+            hits: 1,
+        }
+    }
+
+    fn ctx(c: &Catalog, now_s: u64) -> PolicyCtx<'_> {
+        PolicyCtx {
+            now: Instant::from_micros(now_s * 1_000_000),
+            catalog: c,
+        }
+    }
+
+    fn train(p: &mut RainbowCake, c: &Catalog, f: FunctionId, period_s: u64, count: usize) {
+        for i in 0..count {
+            let t = ctx(c, period_s * i as u64);
+            p.on_arrival(&t, f);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let c = catalog();
+        let bad_alpha = RainbowConfig {
+            alpha: 1.5,
+            ..RainbowConfig::default()
+        };
+        assert!(RainbowCake::new(&c, bad_alpha).is_err());
+        let bad_q = RainbowConfig {
+            quantile: 1.0,
+            ..RainbowConfig::default()
+        };
+        assert!(RainbowCake::new(&c, bad_q).is_err());
+        let bad_w = RainbowConfig {
+            window: 0,
+            ..RainbowConfig::default()
+        };
+        assert!(RainbowCake::new(&c, bad_w).is_err());
+    }
+
+    #[test]
+    fn first_arrival_schedules_nothing() {
+        let c = catalog();
+        let mut p = RainbowCake::with_defaults(&c).unwrap();
+        let resp = p.on_arrival(&ctx(&c, 0), FunctionId::new(0));
+        assert!(resp.prewarms.is_empty());
+    }
+
+    #[test]
+    fn trained_arrival_schedules_prewarm_at_iat() {
+        let c = catalog();
+        let mut p = RainbowCake::with_defaults(&c).unwrap();
+        let f = FunctionId::new(0);
+        train(&mut p, &c, f, 10, 6);
+        let resp = p.on_arrival(&ctx(&c, 60), f);
+        assert_eq!(resp.prewarms.len(), 1);
+        let req = resp.prewarms[0];
+        assert_eq!(req.function, f);
+        assert_eq!(req.target, Layer::User);
+        // lambda ~ 7/60 after this arrival; IAT(0.8) ≈ 13.8 s.
+        assert!(req.delay > Micros::from_secs(5) && req.delay < Micros::from_secs(30));
+    }
+
+    #[test]
+    fn reuse_classes_respect_layers_and_language() {
+        let c = catalog();
+        let p = RainbowCake::with_defaults(&c).unwrap();
+        let f0 = FunctionId::new(0); // Python
+        let f2 = FunctionId::new(2); // Java
+        let cx = ctx(&c, 0);
+        // Own User container: warm.
+        assert_eq!(
+            p.reuse_class(&cx, f0, &view(Layer::User, Some(f0), Some(Language::Python))),
+            Some(ReuseClass::WarmUser)
+        );
+        // Someone else's User container: not reusable.
+        assert_eq!(
+            p.reuse_class(&cx, f2, &view(Layer::User, Some(f0), Some(Language::Python))),
+            None
+        );
+        // Lang container, same language: shared.
+        assert_eq!(
+            p.reuse_class(&cx, f0, &view(Layer::Lang, None, Some(Language::Python))),
+            Some(ReuseClass::SharedLang)
+        );
+        // Lang container, other language: no.
+        assert_eq!(
+            p.reuse_class(&cx, f2, &view(Layer::Lang, None, Some(Language::Python))),
+            None
+        );
+        // Bare container: anyone.
+        assert_eq!(
+            p.reuse_class(&cx, f2, &view(Layer::Bare, None, None)),
+            Some(ReuseClass::SharedBare)
+        );
+    }
+
+    #[test]
+    fn no_layers_variant_disables_sharing() {
+        let c = catalog();
+        let cfg = RainbowConfig {
+            variant: RainbowVariant::NoLayers,
+            ..RainbowConfig::default()
+        };
+        let p = RainbowCake::new(&c, cfg).unwrap();
+        let f0 = FunctionId::new(0);
+        let cx = ctx(&c, 0);
+        assert_eq!(
+            p.reuse_class(&cx, f0, &view(Layer::Lang, None, Some(Language::Python))),
+            None
+        );
+        assert_eq!(p.reuse_class(&cx, f0, &view(Layer::Bare, None, None)), None);
+    }
+
+    #[test]
+    fn ttl_is_bounded_by_beta_without_history() {
+        let c = catalog();
+        let mut p = RainbowCake::with_defaults(&c).unwrap();
+        // No arrivals at all: IAT = MAX, so TTL = beta (finite).
+        let cx = ctx(&c, 0);
+        let v = view(Layer::User, Some(FunctionId::new(0)), Some(Language::Python));
+        let ttl = p.on_idle(&cx, &v);
+        assert!(ttl < Micros::MAX);
+        assert!(ttl > Micros::ZERO);
+    }
+
+    #[test]
+    fn ttl_tracks_arrival_rate() {
+        let c = catalog();
+        let mut fast = RainbowCake::with_defaults(&c).unwrap();
+        let mut slow = RainbowCake::with_defaults(&c).unwrap();
+        let f = FunctionId::new(0);
+        train(&mut fast, &c, f, 1, 6); // 1 s period
+        train(&mut slow, &c, f, 120, 6); // 2 min period
+        let v = view(Layer::User, Some(f), Some(Language::Python));
+        let ttl_fast = fast.on_idle(&ctx(&c, 10), &v);
+        let ttl_slow = slow.on_idle(&ctx(&c, 700), &v);
+        // Faster arrivals need shorter keep-alive to catch the next hit.
+        assert!(ttl_fast < ttl_slow);
+    }
+
+    #[test]
+    fn timeout_downgrades_then_terminates() {
+        let c = catalog();
+        let mut p = RainbowCake::with_defaults(&c).unwrap();
+        let cx = ctx(&c, 0);
+        let f = FunctionId::new(0);
+        let user = view(Layer::User, Some(f), Some(Language::Python));
+        match p.on_timeout(&cx, &user) {
+            TimeoutDecision::Downgrade { ttl } => assert!(ttl > Micros::ZERO),
+            other => panic!("expected downgrade, got {other:?}"),
+        }
+        let bare = view(Layer::Bare, None, None);
+        assert_eq!(p.on_timeout(&cx, &bare), TimeoutDecision::Terminate);
+    }
+
+    #[test]
+    fn no_layers_terminates_at_user() {
+        let c = catalog();
+        let cfg = RainbowConfig {
+            variant: RainbowVariant::NoLayers,
+            ..RainbowConfig::default()
+        };
+        let mut p = RainbowCake::new(&c, cfg).unwrap();
+        let cx = ctx(&c, 0);
+        let user = view(Layer::User, Some(FunctionId::new(0)), Some(Language::Python));
+        assert_eq!(p.on_timeout(&cx, &user), TimeoutDecision::Terminate);
+    }
+
+    #[test]
+    fn no_sharing_uses_fixed_ttls() {
+        let c = catalog();
+        let cfg = RainbowConfig {
+            variant: RainbowVariant::no_sharing_default(),
+            ..RainbowConfig::default()
+        };
+        let mut p = RainbowCake::new(&c, cfg).unwrap();
+        let cx = ctx(&c, 0);
+        let f = FunctionId::new(0);
+        let user = view(Layer::User, Some(f), Some(Language::Python));
+        assert_eq!(p.on_idle(&cx, &user), Micros::from_mins(5));
+        match p.on_timeout(&cx, &user) {
+            TimeoutDecision::Downgrade { ttl } => assert_eq!(ttl, Micros::from_mins(3)),
+            other => panic!("expected downgrade, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn variant_names() {
+        let c = catalog();
+        assert_eq!(RainbowCake::with_defaults(&c).unwrap().name(), "RainbowCake");
+        let ns = RainbowCake::new(
+            &c,
+            RainbowConfig {
+                variant: RainbowVariant::no_sharing_default(),
+                ..RainbowConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(ns.name(), "RainbowCake-NoSharing");
+        let nl = RainbowCake::new(
+            &c,
+            RainbowConfig {
+                variant: RainbowVariant::NoLayers,
+                ..RainbowConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(nl.name(), "RainbowCake-NoLayers");
+    }
+
+    #[test]
+    fn layer_aware_eviction_prefers_heavy_warm_containers() {
+        let c = catalog();
+        let cfg = RainbowConfig {
+            eviction: EvictionOrder::LayerAware,
+            ..RainbowConfig::default()
+        };
+        let mut p = RainbowCake::new(&c, cfg).unwrap();
+        let cx = ctx(&c, 0);
+        let mut heavy = view(Layer::User, Some(FunctionId::new(2)), Some(Language::Java));
+        heavy.id = ContainerId::new(7);
+        heavy.memory = MemMb::new(400);
+        let mut light = view(Layer::Bare, None, None);
+        light.id = ContainerId::new(8);
+        light.memory = MemMb::new(8);
+        let victim = p.select_victim(&cx, &[light.clone(), heavy.clone()]);
+        assert_eq!(victim, Some(ContainerId::new(7)));
+    }
+}

@@ -1,0 +1,41 @@
+//! # rainbowcake-metrics
+//!
+//! Measurement and aggregation for serverless cold-start experiments:
+//!
+//! * [`record`] — per-invocation records and startup-type classification
+//!   (the Fig. 10 categories);
+//! * [`waste`] — exact idle-memory waste integration split into
+//!   eventually-hit vs never-hit (Fig. 8);
+//! * [`percentile`] — exact percentiles (the P99 lines of Fig. 7);
+//! * [`summary`] — the [`MetricsCollector`] fed by the simulator and the
+//!   [`RunReport`] all experiment harnesses consume.
+//!
+//! ```
+//! use rainbowcake_metrics::{MetricsCollector, InvocationRecord, StartType};
+//! use rainbowcake_core::time::{Instant, Micros};
+//! use rainbowcake_core::types::FunctionId;
+//!
+//! let mut collector = MetricsCollector::new();
+//! collector.record_invocation(InvocationRecord {
+//!     function: FunctionId::new(0),
+//!     arrival: Instant::ZERO,
+//!     queue: Micros::ZERO,
+//!     startup: Micros::from_millis(12),
+//!     exec: Micros::from_millis(900),
+//!     start_type: StartType::WarmUser,
+//! });
+//! let report = collector.into_report("Demo");
+//! assert_eq!(report.cold_starts(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod percentile;
+pub mod record;
+pub mod summary;
+pub mod waste;
+
+pub use record::{InvocationRecord, StartType};
+pub use summary::{FunctionSummary, MetricsCollector, RunReport};
+pub use waste::{IdleOutcome, WasteTracker};

@@ -1,0 +1,92 @@
+//! Exact percentile computation over recorded samples.
+
+/// Exact percentile (nearest-rank with linear interpolation) of an
+/// unsorted slice. `p` is in `[0, 100]`. Returns `None` for an empty
+/// slice.
+///
+/// ```
+/// use rainbowcake_metrics::percentile::percentile;
+///
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(percentile(&xs, 0.0), Some(1.0));
+/// assert_eq!(percentile(&xs, 100.0), Some(4.0));
+/// assert_eq!(percentile(&xs, 50.0), Some(2.5));
+/// ```
+///
+/// # Panics
+///
+/// Panics in debug builds if `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    debug_assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(percentile_sorted(&sorted, p))
+}
+
+/// Percentile of an already-sorted slice (ascending). See [`percentile`].
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(percentile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+    }
+
+    #[test]
+    fn interpolation() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(100.0));
+        let p99 = percentile(&xs, 99.0).unwrap();
+        assert!((p99 - 99.01).abs() < 1e-9);
+        let p50 = percentile(&xs, 50.0).unwrap();
+        assert!((p50 - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(percentile(&xs, 50.0), Some(5.0));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = percentile(&xs, p).unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+}

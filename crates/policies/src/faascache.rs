@@ -1,0 +1,204 @@
+//! The FaasCache policy (Fuerst & Sharma, ASPLOS'21) — greedy-dual
+//! keep-alive caching.
+//!
+//! FaasCache treats warm containers as cache entries and keep-alive as a
+//! caching problem: containers are never expired by a TTL; instead, when
+//! memory is needed, the container with the lowest *priority* is evicted,
+//! where
+//!
+//! ```text
+//! priority = clock + freq × cost / size
+//! ```
+//!
+//! (`cost` = the cold-start latency the warm container saves, `size` =
+//! its memory footprint, `freq` = how often it has been used, `clock` =
+//! an aging term set to the priority of the last eviction). This is the
+//! Greedy-Dual-Size-Frequency algorithm.
+
+use std::collections::HashMap;
+
+use rainbowcake_core::policy::{ContainerView, Policy, PolicyCtx, TimeoutDecision};
+use rainbowcake_core::time::Micros;
+use rainbowcake_core::types::ContainerId;
+
+/// The FaasCache greedy-dual keep-alive policy.
+#[derive(Debug, Clone, Default)]
+pub struct FaasCache {
+    clock: f64,
+    priorities: HashMap<ContainerId, f64>,
+}
+
+impl FaasCache {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        FaasCache::default()
+    }
+
+    /// The current aging clock (exposed for inspection).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    fn priority(&self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> f64 {
+        let cost = c
+            .owner
+            .map(|f| ctx.profile(f).cold_startup().as_secs_f64())
+            .unwrap_or(0.1);
+        let size = c.memory.as_gb_f64().max(1e-6);
+        let freq = c.hits.max(1) as f64;
+        self.clock + freq * cost / size
+    }
+}
+
+impl Policy for FaasCache {
+    fn name(&self) -> &'static str {
+        "FaasCache"
+    }
+
+    fn on_idle(&mut self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> Micros {
+        // Keep-alive forever: eviction is the only way out of the pool.
+        let p = self.priority(ctx, c);
+        self.priorities.insert(c.id, p);
+        Micros::MAX
+    }
+
+    fn on_timeout(&mut self, _: &PolicyCtx<'_>, _: &ContainerView) -> TimeoutDecision {
+        // Unreachable in practice (TTL is unbounded); terminate if the
+        // platform ever asks.
+        TimeoutDecision::Terminate
+    }
+
+    fn select_victim(
+        &mut self,
+        ctx: &PolicyCtx<'_>,
+        candidates: &[ContainerView],
+    ) -> Option<ContainerId> {
+        let victim = candidates.iter().min_by(|a, b| {
+            let pa = self
+                .priorities
+                .get(&a.id)
+                .copied()
+                .unwrap_or_else(|| self.priority(ctx, a));
+            let pb = self
+                .priorities
+                .get(&b.id)
+                .copied()
+                .unwrap_or_else(|| self.priority(ctx, b));
+            pa.partial_cmp(&pb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        })?;
+        // Age the cache: the clock advances to the evicted priority.
+        let p = self
+            .priorities
+            .get(&victim.id)
+            .copied()
+            .unwrap_or_else(|| self.priority(ctx, victim));
+        self.clock = self.clock.max(p);
+        Some(victim.id)
+    }
+
+    fn on_terminated(&mut self, _: &PolicyCtx<'_>, id: ContainerId) {
+        self.priorities.remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbowcake_core::mem::MemMb;
+    use rainbowcake_core::profile::{Catalog, FunctionProfile};
+    use rainbowcake_core::time::Instant;
+    use rainbowcake_core::types::{FunctionId, Language, Layer};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Python));
+        c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Java));
+        c
+    }
+
+    fn view(id: u64, f: u32, mem: u64, hits: u32) -> ContainerView {
+        ContainerView {
+            id: ContainerId::new(id),
+            layer: Layer::User,
+            language: Some(Language::Python),
+            owner: Some(FunctionId::new(f)),
+            packed: Vec::new(),
+            memory: MemMb::new(mem),
+            idle_since: Instant::ZERO,
+            created_at: Instant::ZERO,
+            hits,
+        }
+    }
+
+    fn ctx(c: &Catalog) -> PolicyCtx<'_> {
+        PolicyCtx {
+            now: Instant::ZERO,
+            catalog: c,
+        }
+    }
+
+    #[test]
+    fn ttl_is_unbounded() {
+        let c = catalog();
+        let mut p = FaasCache::new();
+        assert_eq!(p.on_idle(&ctx(&c), &view(0, 0, 100, 1)), Micros::MAX);
+    }
+
+    #[test]
+    fn evicts_lowest_value_container() {
+        let c = catalog();
+        let mut p = FaasCache::new();
+        let cx = ctx(&c);
+        // Same function: the rarely used, huge container loses.
+        let hot = view(0, 0, 100, 10);
+        let cold_big = view(1, 0, 400, 1);
+        p.on_idle(&cx, &hot);
+        p.on_idle(&cx, &cold_big);
+        assert_eq!(
+            p.select_victim(&cx, &[hot.clone(), cold_big.clone()]),
+            Some(ContainerId::new(1))
+        );
+    }
+
+    #[test]
+    fn expensive_cold_starts_are_protected() {
+        let c = catalog();
+        let mut p = FaasCache::new();
+        let cx = ctx(&c);
+        // Java (fn 1) has a much longer cold start than Python (fn 0) at
+        // equal size and frequency: Python is evicted first.
+        let python = view(0, 0, 200, 1);
+        let java = view(1, 1, 200, 1);
+        p.on_idle(&cx, &python);
+        p.on_idle(&cx, &java);
+        assert_eq!(
+            p.select_victim(&cx, &[python, java]),
+            Some(ContainerId::new(0))
+        );
+    }
+
+    #[test]
+    fn clock_ages_on_eviction() {
+        let c = catalog();
+        let mut p = FaasCache::new();
+        let cx = ctx(&c);
+        let a = view(0, 0, 100, 1);
+        p.on_idle(&cx, &a);
+        assert_eq!(p.clock(), 0.0);
+        p.select_victim(&cx, &[a]);
+        assert!(p.clock() > 0.0);
+    }
+
+    #[test]
+    fn terminated_entries_are_cleaned() {
+        let c = catalog();
+        let mut p = FaasCache::new();
+        let cx = ctx(&c);
+        p.on_idle(&cx, &view(7, 0, 100, 1));
+        assert!(p.priorities.contains_key(&ContainerId::new(7)));
+        p.on_terminated(&cx, ContainerId::new(7));
+        assert!(!p.priorities.contains_key(&ContainerId::new(7)));
+    }
+}

@@ -1,0 +1,256 @@
+//! The Histogram policy of Shahrad et al. (USENIX ATC'20, "Serverless
+//! in the Wild") — the paper's full-container-caching baseline.
+//!
+//! Each function keeps a histogram of its inter-arrival times in 1-minute
+//! bins up to 4 hours. The head (5th percentile) and tail (99th
+//! percentile) of the histogram drive the decisions:
+//!
+//! * if the head is comfortably large, the container is released shortly
+//!   after execution and *pre-warmed* just before the predicted next
+//!   arrival;
+//! * otherwise the container is simply kept alive until the tail.
+//!
+//! Functions with too few samples, or whose IATs mostly fall out of the
+//! histogram range, fall back to a fixed 10-minute keep-alive (the
+//! "standard keep-alive" fallback in the original paper).
+
+use rainbowcake_core::policy::{
+    ArrivalResponse, ContainerView, Policy, PolicyCtx, TimeoutDecision,
+};
+use rainbowcake_core::time::{Instant, Micros};
+use rainbowcake_core::types::{FunctionId, Layer};
+
+/// Histogram range: 1-minute bins covering up to 4 hours.
+pub const BINS: usize = 240;
+
+/// Per-function IAT histogram.
+#[derive(Debug, Clone)]
+struct IatHistogram {
+    bins: [u32; BINS],
+    out_of_bounds: u32,
+    total: u32,
+    last_arrival: Option<Instant>,
+}
+
+impl IatHistogram {
+    fn new() -> Self {
+        IatHistogram {
+            bins: [0; BINS],
+            out_of_bounds: 0,
+            total: 0,
+            last_arrival: None,
+        }
+    }
+
+    fn observe(&mut self, now: Instant) {
+        if let Some(last) = self.last_arrival {
+            let mins = now.duration_since(last).as_mins_f64().round() as usize;
+            if mins < BINS {
+                self.bins[mins] += 1;
+            } else {
+                self.out_of_bounds += 1;
+            }
+            self.total += 1;
+        }
+        self.last_arrival = Some(now);
+    }
+
+    /// The p-quantile bin (in minutes), ignoring out-of-bounds samples.
+    fn quantile_min(&self, p: f64) -> Option<u64> {
+        let in_range: u32 = self.total - self.out_of_bounds;
+        if in_range == 0 {
+            return None;
+        }
+        let target = (p * in_range as f64).ceil().max(1.0) as u32;
+        let mut seen = 0;
+        for (minute, &count) in self.bins.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some(minute as u64);
+            }
+        }
+        Some((BINS - 1) as u64)
+    }
+
+    /// Whether the histogram is usable for prediction.
+    fn representative(&self) -> bool {
+        self.total >= 4 && (self.out_of_bounds as f64) < 0.5 * self.total as f64
+    }
+}
+
+/// The Histogram pre-warming & keep-alive policy.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    histograms: Vec<IatHistogram>,
+    fallback_ttl: Micros,
+    /// Margin subtracted from the head when scheduling a pre-warm, and
+    /// used as the short post-execution window when pre-warming is on.
+    margin: Micros,
+}
+
+impl Histogram {
+    /// Creates the policy for `n_functions` functions.
+    pub fn new(n_functions: usize) -> Self {
+        Histogram {
+            histograms: (0..n_functions).map(|_| IatHistogram::new()).collect(),
+            fallback_ttl: Micros::from_mins(10),
+            margin: Micros::from_mins(1),
+        }
+    }
+}
+
+impl Policy for Histogram {
+    fn name(&self) -> &'static str {
+        "Histogram"
+    }
+
+    fn on_arrival(&mut self, ctx: &PolicyCtx<'_>, f: FunctionId) -> ArrivalResponse {
+        let h = &mut self.histograms[f.index()];
+        h.observe(ctx.now);
+        if !h.representative() {
+            return ArrivalResponse::none();
+        }
+        let head_min = h.quantile_min(0.05).unwrap_or(0);
+        if head_min >= 2 {
+            // Confident idle gap: release early, pre-warm just before
+            // the predicted next arrival.
+            let delay = Micros::from_mins(head_min) - self.margin;
+            return ArrivalResponse::prewarm(f, delay, Layer::User);
+        }
+        ArrivalResponse::none()
+    }
+
+    fn on_idle(&mut self, _: &PolicyCtx<'_>, c: &ContainerView) -> Micros {
+        let Some(owner) = c.owner else {
+            return self.fallback_ttl;
+        };
+        let h = &self.histograms[owner.index()];
+        if !h.representative() {
+            return self.fallback_ttl;
+        }
+        let head = h.quantile_min(0.05).unwrap_or(0);
+        let tail = h.quantile_min(0.99).unwrap_or(10).max(1);
+        if head >= 2 {
+            // Pre-warming covers the gap; keep only a short window.
+            self.margin * 2
+        } else {
+            Micros::from_mins(tail)
+        }
+    }
+
+    fn on_timeout(&mut self, _: &PolicyCtx<'_>, _: &ContainerView) -> TimeoutDecision {
+        TimeoutDecision::Terminate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbowcake_core::mem::MemMb;
+    use rainbowcake_core::profile::{Catalog, FunctionProfile};
+    use rainbowcake_core::types::{ContainerId, Language};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Python));
+        c
+    }
+
+    fn ctx(c: &Catalog, secs: u64) -> PolicyCtx<'_> {
+        PolicyCtx {
+            now: Instant::from_micros(secs * 1_000_000),
+            catalog: c,
+        }
+    }
+
+    fn view(owner: Option<FunctionId>) -> ContainerView {
+        ContainerView {
+            id: ContainerId::new(0),
+            layer: Layer::User,
+            language: Some(Language::Python),
+            owner,
+            packed: Vec::new(),
+            memory: MemMb::new(100),
+            idle_since: Instant::ZERO,
+            created_at: Instant::ZERO,
+            hits: 0,
+        }
+    }
+
+    #[test]
+    fn falls_back_with_few_samples() {
+        let c = catalog();
+        let mut p = Histogram::new(1);
+        let f = FunctionId::new(0);
+        p.on_arrival(&ctx(&c, 0), f);
+        p.on_arrival(&ctx(&c, 60), f);
+        assert_eq!(p.on_idle(&ctx(&c, 60), &view(Some(f))), Micros::from_mins(10));
+    }
+
+    #[test]
+    fn regular_long_gaps_trigger_prewarming() {
+        let c = catalog();
+        let mut p = Histogram::new(1);
+        let f = FunctionId::new(0);
+        // Arrivals every 10 minutes.
+        for i in 0..8 {
+            let resp = p.on_arrival(&ctx(&c, i * 600), f);
+            if i >= 5 {
+                // Enough history: pre-warm ~9 minutes after each arrival.
+                assert_eq!(resp.prewarms.len(), 1, "iteration {i}");
+                let d = resp.prewarms[0].delay;
+                assert!(d >= Micros::from_mins(8) && d <= Micros::from_mins(10));
+            }
+        }
+        // With pre-warming active, the post-execution window is short.
+        let ttl = p.on_idle(&ctx(&c, 4800), &view(Some(f)));
+        assert!(ttl <= Micros::from_mins(2));
+    }
+
+    #[test]
+    fn tight_gaps_extend_keepalive_instead() {
+        let c = catalog();
+        let mut p = Histogram::new(1);
+        let f = FunctionId::new(0);
+        // Arrivals every ~30 s: head bin is 0-1 min, no pre-warm.
+        for i in 0..10 {
+            let resp = p.on_arrival(&ctx(&c, i * 30), f);
+            assert!(resp.prewarms.is_empty());
+        }
+        let ttl = p.on_idle(&ctx(&c, 300), &view(Some(f)));
+        // Tail-based keep-alive: at least one minute, far below fallback.
+        assert!(ttl >= Micros::from_mins(1) && ttl <= Micros::from_mins(5));
+    }
+
+    #[test]
+    fn out_of_bounds_heavy_history_falls_back() {
+        let c = catalog();
+        let mut p = Histogram::new(1);
+        let f = FunctionId::new(0);
+        // Gaps of ~5 hours: everything lands out of bounds.
+        for i in 0..8u64 {
+            p.on_arrival(&ctx(&c, i * 18_000), f);
+        }
+        assert_eq!(p.on_idle(&ctx(&c, 200_000), &view(Some(f))), Micros::from_mins(10));
+    }
+
+    #[test]
+    fn ownerless_containers_use_fallback() {
+        let c = catalog();
+        let mut p = Histogram::new(1);
+        assert_eq!(p.on_idle(&ctx(&c, 0), &view(None)), Micros::from_mins(10));
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let mut h = IatHistogram::new();
+        let mut t = Instant::ZERO;
+        for gap in [1u64, 2, 3, 5, 8, 13, 21] {
+            h.observe(t);
+            t += Micros::from_mins(gap);
+        }
+        let p05 = h.quantile_min(0.05).unwrap();
+        let p99 = h.quantile_min(0.99).unwrap();
+        assert!(p05 <= p99);
+    }
+}

@@ -1,0 +1,34 @@
+//! # rainbowcake-policies
+//!
+//! Faithful re-implementations of the five baseline cold-start
+//! mitigation policies the RainbowCake paper evaluates against (§7.1),
+//! all speaking the `rainbowcake_core::policy::Policy` contract:
+//!
+//! * [`OpenWhiskDefault`] — fixed 10-minute keep-alive (the platform
+//!   default, also the commercial-cloud strategy);
+//! * [`Histogram`] — histogram-driven pre-warming & keep-alive
+//!   (Shahrad et al., ATC'20) — full container caching;
+//! * [`FaasCache`] — greedy-dual-size-frequency keep-alive caching
+//!   (Fuerst & Sharma, ASPLOS'21) — full container caching;
+//! * [`Seuss`] — snapshot-level partial caching (Cadden et al.,
+//!   EuroSys'20) — partial container caching;
+//! * [`Pagurus`] — inter-function zygote sharing (Li et al., ATC'22) —
+//!   container sharing.
+//!
+//! RainbowCake itself (and its ablation variants) lives in
+//! `rainbowcake_core::rainbow` next to the models it is built from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faascache;
+pub mod histogram;
+pub mod openwhisk;
+pub mod pagurus;
+pub mod seuss;
+
+pub use faascache::FaasCache;
+pub use histogram::Histogram;
+pub use openwhisk::OpenWhiskDefault;
+pub use pagurus::Pagurus;
+pub use seuss::Seuss;

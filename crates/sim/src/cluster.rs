@@ -1,0 +1,493 @@
+//! Multi-worker clusters and inter-node scheduling (§8, "RainbowCake on
+//! distributed clusters").
+//!
+//! The paper sketches an inter-node scheduler built on three factors:
+//!
+//! 1. **Locality** — prefer a node with a fully warmed (`User`)
+//!    container of the function;
+//! 2. **Sharing** — otherwise prefer a node with layer-sharing
+//!    opportunity (`Lang`/`Bare`);
+//! 3. **Load** — spread work to avoid contention.
+//!
+//! This module implements that scheduler (plus round-robin and
+//! least-loaded baselines) as a *routing* layer: arrivals are routed
+//! online using an approximate warmth/load view of each worker, the
+//! per-worker sub-traces are then executed exactly by the single-node
+//! engine, and the reports are aggregated. Routing state is approximate
+//! by design — a real cluster's router also works on stale summaries
+//! rather than the workers' exact pool contents.
+
+use rainbowcake_core::policy::Policy;
+use rainbowcake_core::profile::Catalog;
+use rainbowcake_core::time::{Instant, Micros};
+use rainbowcake_core::types::{FunctionId, Language};
+use rainbowcake_metrics::RunReport;
+use rainbowcake_trace::{Arrival, Trace};
+
+use crate::config::SimConfig;
+use crate::engine::run;
+
+/// Identifies a worker node in the cluster.
+pub type WorkerId = usize;
+
+/// The router's (approximate) view of one worker.
+#[derive(Debug, Clone)]
+pub struct WorkerView {
+    /// Last time each function ran on this worker (None = never).
+    last_run: Vec<Option<Instant>>,
+    /// Last time each language ran on this worker.
+    last_lang: [Option<Instant>; 3],
+    /// Arrivals routed to this worker within the sliding load window.
+    recent: Vec<Instant>,
+}
+
+impl WorkerView {
+    fn new(functions: usize) -> Self {
+        WorkerView {
+            last_run: vec![None; functions],
+            last_lang: [None; 3],
+            recent: Vec::new(),
+        }
+    }
+
+    /// Whether `f` ran here within `window` of `now` (the locality
+    /// signal: a warm `User` container is likely still alive).
+    pub fn warm_for(&self, f: FunctionId, now: Instant, window: Micros) -> bool {
+        self.last_run[f.index()]
+            .map(|t| now.duration_since(t) <= window)
+            .unwrap_or(false)
+    }
+
+    /// Whether any same-language function ran here within `window` (the
+    /// sharing signal: a `Lang` container is likely available).
+    pub fn lang_warm(&self, language: Language, now: Instant, window: Micros) -> bool {
+        self.last_lang[lang_idx(language)]
+            .map(|t| now.duration_since(t) <= window)
+            .unwrap_or(false)
+    }
+
+    /// Number of arrivals routed here within the last minute (the load
+    /// signal).
+    pub fn load(&self, now: Instant) -> usize {
+        let cutoff = now - Micros::from_mins(1);
+        self.recent.iter().filter(|&&t| t >= cutoff).count()
+    }
+
+    fn record(&mut self, f: FunctionId, language: Language, now: Instant) {
+        self.last_run[f.index()] = Some(now);
+        self.last_lang[lang_idx(language)] = Some(now);
+        let cutoff = now - Micros::from_mins(1);
+        self.recent.retain(|&t| t >= cutoff);
+        self.recent.push(now);
+    }
+}
+
+fn lang_idx(language: Language) -> usize {
+    match language {
+        Language::NodeJs => 0,
+        Language::Python => 1,
+        Language::Java => 2,
+    }
+}
+
+/// An inter-node routing strategy.
+pub trait Router {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the worker for an arrival of `f` at `now`.
+    ///
+    /// `views` is never empty; the returned index must be in range.
+    fn route(
+        &mut self,
+        now: Instant,
+        f: FunctionId,
+        language: Language,
+        views: &[WorkerView],
+    ) -> WorkerId;
+}
+
+/// Baseline: route arrivals in a fixed cycle, ignoring state.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates the router.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Router for RoundRobin {
+    fn name(&self) -> &'static str {
+        "RoundRobin"
+    }
+    fn route(
+        &mut self,
+        _: Instant,
+        _: FunctionId,
+        _: Language,
+        views: &[WorkerView],
+    ) -> WorkerId {
+        let w = self.next % views.len();
+        self.next = self.next.wrapping_add(1);
+        w
+    }
+}
+
+/// Baseline: always route to the worker with the fewest recent arrivals.
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+impl LeastLoaded {
+    /// Creates the router.
+    pub fn new() -> Self {
+        LeastLoaded
+    }
+}
+
+impl Router for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "LeastLoaded"
+    }
+    fn route(
+        &mut self,
+        now: Instant,
+        _: FunctionId,
+        _: Language,
+        views: &[WorkerView],
+    ) -> WorkerId {
+        views
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, v)| (v.load(now), *i))
+            .map(|(i, _)| i)
+            .expect("views is non-empty")
+    }
+}
+
+/// The §8 scheduler: Locality first, then Sharing, then Load — with a
+/// load cap so a hot node is not overloaded just because it is warm.
+#[derive(Debug)]
+pub struct LocalitySharingLoad {
+    /// How long after a run a node is presumed warm for the function.
+    pub warm_window: Micros,
+    /// How long after a run a node is presumed to hold a Lang layer.
+    pub lang_window: Micros,
+    /// Maximum load multiple (vs the least-loaded node) a warm node may
+    /// have and still win on warmth.
+    pub load_slack: usize,
+}
+
+impl Default for LocalitySharingLoad {
+    fn default() -> Self {
+        LocalitySharingLoad {
+            warm_window: Micros::from_mins(5),
+            lang_window: Micros::from_mins(15),
+            load_slack: 12,
+        }
+    }
+}
+
+impl Router for LocalitySharingLoad {
+    fn name(&self) -> &'static str {
+        "Locality+Sharing+Load"
+    }
+
+    fn route(
+        &mut self,
+        now: Instant,
+        f: FunctionId,
+        language: Language,
+        views: &[WorkerView],
+    ) -> WorkerId {
+        let min_load = views
+            .iter()
+            .map(|v| v.load(now))
+            .min()
+            .expect("views is non-empty");
+        let cap = min_load + self.load_slack;
+        // 1) Locality.
+        if let Some((i, _)) = views
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.warm_for(f, now, self.warm_window) && v.load(now) <= cap)
+            .min_by_key(|(i, v)| (v.load(now), *i))
+        {
+            return i;
+        }
+        // 2) Sharing.
+        if let Some((i, _)) = views
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.lang_warm(language, now, self.lang_window) && v.load(now) <= cap)
+            .min_by_key(|(i, v)| (v.load(now), *i))
+        {
+            return i;
+        }
+        // 3) Load.
+        views
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, v)| (v.load(now), *i))
+            .map(|(i, _)| i)
+            .expect("views is non-empty")
+    }
+}
+
+/// Aggregate result of a cluster run.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// Router used.
+    pub router: &'static str,
+    /// One report per worker, in worker order.
+    pub workers: Vec<RunReport>,
+    /// How many arrivals each worker received.
+    pub assigned: Vec<usize>,
+}
+
+impl ClusterReport {
+    /// Total completed invocations.
+    pub fn completed(&self) -> usize {
+        self.workers.iter().map(|w| w.records.len()).sum()
+    }
+
+    /// Cluster-wide cold starts.
+    pub fn cold_starts(&self) -> usize {
+        self.workers.iter().map(|w| w.cold_starts()).sum()
+    }
+
+    /// Cluster-wide total startup latency.
+    pub fn total_startup(&self) -> Micros {
+        self.workers.iter().map(|w| w.total_startup()).sum()
+    }
+
+    /// Cluster-wide memory waste.
+    pub fn total_waste(&self) -> f64 {
+        self.workers.iter().map(|w| w.total_waste().value()).sum()
+    }
+
+    /// Load imbalance: max/min assigned arrivals (1.0 = perfectly even).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.assigned.iter().copied().max().unwrap_or(0) as f64;
+        let min = self.assigned.iter().copied().min().unwrap_or(0).max(1) as f64;
+        max / min
+    }
+}
+
+/// Routes `trace` across `workers` nodes with `router`, then executes
+/// each worker's sub-trace with a fresh policy from `make_policy`.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn run_cluster(
+    catalog: &Catalog,
+    make_policy: &mut dyn FnMut() -> Box<dyn Policy>,
+    trace: &Trace,
+    workers: usize,
+    per_worker: &SimConfig,
+    router: &mut dyn Router,
+) -> ClusterReport {
+    assert!(workers > 0, "cluster needs at least one worker");
+    let mut views: Vec<WorkerView> = (0..workers).map(|_| WorkerView::new(catalog.len())).collect();
+    let mut sub: Vec<Vec<Arrival>> = vec![Vec::new(); workers];
+    for a in trace.iter() {
+        let language = catalog.profile(a.function).language;
+        let w = router.route(a.time, a.function, language, &views);
+        assert!(w < workers, "router returned an out-of-range worker");
+        views[w].record(a.function, language, a.time);
+        sub[w].push(*a);
+    }
+    let assigned: Vec<usize> = sub.iter().map(|s| s.len()).collect();
+    let workers_reports = sub
+        .into_iter()
+        .map(|arrivals| {
+            let sub_trace = Trace::from_arrivals(trace.horizon(), arrivals);
+            let mut policy = make_policy();
+            run(catalog, policy.as_mut(), &sub_trace, per_worker)
+        })
+        .collect();
+    ClusterReport {
+        router: router.name(),
+        workers: workers_reports,
+        assigned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbowcake_core::rainbow::RainbowCake;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for lang in [Language::Python, Language::Python, Language::Java] {
+            c.push(rainbowcake_core::profile::FunctionProfile::synthetic(
+                FunctionId::new(0),
+                lang,
+            ));
+        }
+        c
+    }
+
+    fn trace(catalog: &Catalog) -> Trace {
+        // Each function fires every 30 s for 20 minutes.
+        let mut arrivals = Vec::new();
+        for p in catalog.iter() {
+            for i in 0..40u64 {
+                arrivals.push(Arrival {
+                    time: Instant::from_micros((i * 30 + p.id.index() as u64) * 1_000_000),
+                    function: p.id,
+                });
+            }
+        }
+        Trace::from_arrivals(Micros::from_mins(20), arrivals)
+    }
+
+    fn sparse_trace(catalog: &Catalog) -> Trace {
+        // Each function fires every 5 minutes for 2 hours: warm under a
+        // 10-minute keep-alive only if its stream is not split.
+        let mut arrivals = Vec::new();
+        for p in catalog.iter() {
+            for i in 0..24u64 {
+                arrivals.push(Arrival {
+                    time: Instant::from_micros((i * 300 + p.id.index() as u64) * 1_000_000),
+                    function: p.id,
+                });
+            }
+        }
+        Trace::from_arrivals(Micros::from_mins(120), arrivals)
+    }
+
+    fn policy_factory(catalog: &Catalog) -> impl FnMut() -> Box<dyn Policy> + '_ {
+        move || Box::new(RainbowCake::with_defaults(catalog).expect("valid")) as Box<dyn Policy>
+    }
+
+    /// A fixed 10-minute keep-alive policy (OpenWhisk-style), local to
+    /// the tests so the sim crate does not depend on the policies crate.
+    struct FixedKeepAlive;
+
+    impl Policy for FixedKeepAlive {
+        fn name(&self) -> &'static str {
+            "FixedKeepAlive"
+        }
+        fn on_idle(
+            &mut self,
+            _: &rainbowcake_core::policy::PolicyCtx<'_>,
+            _: &rainbowcake_core::policy::ContainerView,
+        ) -> Micros {
+            Micros::from_mins(10)
+        }
+        fn on_timeout(
+            &mut self,
+            _: &rainbowcake_core::policy::PolicyCtx<'_>,
+            _: &rainbowcake_core::policy::ContainerView,
+        ) -> rainbowcake_core::policy::TimeoutDecision {
+            rainbowcake_core::policy::TimeoutDecision::Terminate
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let c = catalog();
+        let t = trace(&c);
+        let mut factory = policy_factory(&c);
+        let report = run_cluster(
+            &c,
+            &mut factory,
+            &t,
+            3,
+            &SimConfig::deterministic(1),
+            &mut RoundRobin::new(),
+        );
+        assert_eq!(report.completed(), t.len());
+        assert!(report.imbalance() < 1.1, "imbalance {}", report.imbalance());
+    }
+
+    #[test]
+    fn locality_router_concentrates_functions() {
+        // A fixed 10-minute keep-alive stays warm at 5-minute gaps only
+        // if each function's stream lands on one node; blind rotation
+        // over 4 workers stretches per-node gaps to 20 minutes.
+        let c = catalog();
+        let t = sparse_trace(&c);
+        let mut ow_factory = || Box::new(FixedKeepAlive) as Box<dyn Policy>;
+        let mut router = LocalitySharingLoad {
+            warm_window: Micros::from_mins(10),
+            ..LocalitySharingLoad::default()
+        };
+        let report = run_cluster(&c, &mut ow_factory, &t, 4, &SimConfig::deterministic(1), &mut router);
+        assert_eq!(report.completed(), t.len());
+        let mut ow_factory = || Box::new(FixedKeepAlive) as Box<dyn Policy>;
+        let rr = run_cluster(
+            &c,
+            &mut ow_factory,
+            &t,
+            4,
+            &SimConfig::deterministic(1),
+            &mut RoundRobin::new(),
+        );
+        assert!(
+            report.cold_starts() * 3 < rr.cold_starts(),
+            "locality {} vs round-robin {}",
+            report.cold_starts(),
+            rr.cold_starts()
+        );
+    }
+
+    #[test]
+    fn least_loaded_balances() {
+        let c = catalog();
+        let t = trace(&c);
+        let mut factory = policy_factory(&c);
+        let report = run_cluster(
+            &c,
+            &mut factory,
+            &t,
+            4,
+            &SimConfig::deterministic(1),
+            &mut LeastLoaded::new(),
+        );
+        assert_eq!(report.completed(), t.len());
+        // The one-minute load window is coarse at this arrival rate, so
+        // allow some skew — but every worker must receive real work.
+        assert!(report.imbalance() < 3.0, "imbalance {}", report.imbalance());
+        assert!(report.assigned.iter().all(|&a| a > 10));
+    }
+
+    #[test]
+    fn worker_views_track_warmth_and_load() {
+        let mut v = WorkerView::new(2);
+        let f = FunctionId::new(0);
+        let t0 = Instant::from_micros(0);
+        assert!(!v.warm_for(f, t0, Micros::from_mins(5)));
+        v.record(f, Language::Python, t0);
+        let t1 = t0 + Micros::from_mins(3);
+        assert!(v.warm_for(f, t1, Micros::from_mins(5)));
+        assert!(v.lang_warm(Language::Python, t1, Micros::from_mins(5)));
+        assert!(!v.lang_warm(Language::Java, t1, Micros::from_mins(5)));
+        let t2 = t0 + Micros::from_mins(10);
+        assert!(!v.warm_for(f, t2, Micros::from_mins(5)));
+        assert_eq!(v.load(t0 + Micros::from_secs(30)), 1);
+        assert_eq!(v.load(t2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let c = catalog();
+        let t = trace(&c);
+        let mut factory = policy_factory(&c);
+        let _ = run_cluster(
+            &c,
+            &mut factory,
+            &t,
+            0,
+            &SimConfig::deterministic(1),
+            &mut RoundRobin::new(),
+        );
+    }
+}

@@ -1,0 +1,1016 @@
+//! The discrete-event simulation engine: drives a [`Policy`] against an
+//! invocation trace on one worker node and produces a
+//! [`RunReport`].
+//!
+//! The engine owns all platform mechanics — container creation, layer
+//! installs with contention-dependent transition overheads, memory
+//! budgeting with policy-directed eviction, FIFO admission queueing under
+//! memory pressure, keep-alive timers, pre-warm timers, and exact waste
+//! accounting — while every *decision* (TTLs, downgrade vs. terminate,
+//! reuse eligibility, victims, pre-warm targets) is delegated to the
+//! policy, mirroring the OpenWhisk split described in §6.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rainbowcake_core::lifecycle::LifecycleEvent;
+use rainbowcake_core::mem::MemMb;
+use rainbowcake_core::policy::{Policy, PolicyCtx, PrewarmDecision, ReuseClass, TimeoutDecision};
+use rainbowcake_core::profile::{Catalog, FunctionProfile};
+use rainbowcake_core::time::{Instant, Micros};
+use rainbowcake_core::types::{ContainerId, FunctionId, Layer};
+use rainbowcake_metrics::{IdleOutcome, InvocationRecord, MetricsCollector, RunReport, StartType};
+use rainbowcake_trace::samplers::lognormal_mean_cv;
+use rainbowcake_trace::Trace;
+
+use crate::concurrency::transition_overhead;
+use crate::config::SimConfig;
+use crate::container::{AssignedInvocation, Container};
+use crate::event::{EventKind, EventQueue};
+use crate::pool::Pool;
+
+/// An invocation waiting for admission (memory pressure).
+#[derive(Debug, Clone, Copy)]
+struct QueuedInvocation {
+    function: FunctionId,
+    arrival: Instant,
+}
+
+/// Runs `policy` against `trace` and returns the measured report.
+///
+/// The run is fully deterministic given the catalog, trace, config, and
+/// the policy's own state.
+pub fn run(
+    catalog: &Catalog,
+    policy: &mut dyn Policy,
+    trace: &Trace,
+    config: &SimConfig,
+) -> RunReport {
+    let mut engine = Engine::new(catalog, policy, config, trace.horizon());
+    for arrival in trace.iter() {
+        engine.events.push(
+            arrival.time,
+            EventKind::Arrival {
+                function: arrival.function,
+            },
+        );
+    }
+    engine.run_to_completion();
+    engine.finish()
+}
+
+struct Engine<'a> {
+    catalog: &'a Catalog,
+    config: &'a SimConfig,
+    policy: &'a mut dyn Policy,
+    pool: Pool,
+    events: EventQueue,
+    rng: StdRng,
+    metrics: MetricsCollector,
+    pending: VecDeque<QueuedInvocation>,
+    horizon: Instant,
+    first_arrival: Vec<Option<Instant>>,
+    now: Instant,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        catalog: &'a Catalog,
+        policy: &'a mut dyn Policy,
+        config: &'a SimConfig,
+        horizon: Micros,
+    ) -> Self {
+        Engine {
+            catalog,
+            config,
+            policy,
+            pool: Pool::new(config.memory_capacity),
+            events: EventQueue::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            metrics: MetricsCollector::new(),
+            pending: VecDeque::new(),
+            horizon: Instant::ZERO + horizon,
+            first_arrival: vec![None; catalog.len()],
+            now: Instant::ZERO,
+        }
+    }
+
+    fn ctx(&self) -> PolicyCtx<'a> {
+        PolicyCtx {
+            now: self.now,
+            catalog: self.catalog,
+        }
+    }
+
+    fn run_to_completion(&mut self) {
+        while let Some(event) = self.events.pop() {
+            debug_assert!(event.time >= self.now, "time must not run backwards");
+            self.now = event.time;
+            match event.kind {
+                EventKind::Arrival { function } => self.handle_arrival(function),
+                EventKind::InitComplete { container, epoch } => {
+                    self.handle_init_complete(container, epoch)
+                }
+                EventKind::ExecComplete { container } => self.handle_exec_complete(container),
+                EventKind::IdleTimeout { container, epoch } => {
+                    self.handle_idle_timeout(container, epoch)
+                }
+                EventKind::PrewarmFire { function } => self.handle_prewarm_fire(function),
+            }
+        }
+    }
+
+    fn finish(mut self) -> RunReport {
+        // Close the books: idle containers waste memory until the end of
+        // the measurement window.
+        let horizon = self.horizon;
+        let idle: Vec<(ContainerId, Instant, MemMb)> = self
+            .pool
+            .iter()
+            .filter(|c| c.is_idle())
+            .map(|c| (c.id, c.idle_since, c.memory))
+            .collect();
+        for (_, since, mem) in idle {
+            self.record_waste(mem, since, horizon, IdleOutcome::Miss);
+        }
+        // Checkpoint extension (§7.8): cached checkpoint images are
+        // resident from a function's first invocation onward.
+        if let Some(cp) = self.config.checkpoint {
+            for (i, first) in self.first_arrival.clone().into_iter().enumerate() {
+                if let Some(first) = first {
+                    let profile = self.catalog.profile(FunctionId::new(i as u32));
+                    let image = MemMb::new(
+                        (profile.memory_at(Layer::User).as_mb() as f64 * cp.image_overhead)
+                            as u64,
+                    );
+                    self.record_waste(image, first, horizon, IdleOutcome::Miss);
+                }
+            }
+        }
+        self.metrics.into_report(self.policy.name())
+    }
+
+    /// Records an idle interval, clipped to the measurement window.
+    fn record_waste(&mut self, mem: MemMb, start: Instant, end: Instant, outcome: IdleOutcome) {
+        let end = end.min(self.horizon);
+        let start = start.min(end);
+        self.metrics
+            .waste_mut()
+            .record_interval(mem, start, end, outcome);
+    }
+
+    /// A transition overhead under the current initialization
+    /// concurrency (Fig. 13).
+    fn contended(&mut self, base: Micros) -> Micros {
+        transition_overhead(
+            base,
+            self.pool.initializing_count(),
+            self.config.contention_coeff,
+            self.config.transition_jitter,
+            &mut self.rng,
+        )
+    }
+
+    /// Install-latency scale factor: checkpoint restore replaces
+    /// from-scratch initialization on the cold path (§7.8).
+    fn cold_install_factor(&self) -> f64 {
+        self.config
+            .checkpoint
+            .map(|c| c.restore_factor)
+            .unwrap_or(1.0)
+    }
+
+    fn startup_cold(&mut self, p: &FunctionProfile) -> Micros {
+        let installs = p.stages.total().mul_f64(self.cold_install_factor());
+        installs
+            + self.contended(p.transitions.b_l)
+            + self.contended(p.transitions.l_u)
+            + self.contended(p.transitions.u_run)
+    }
+
+    fn startup_reuse(&mut self, p: &FunctionProfile, class: ReuseClass) -> Micros {
+        match class {
+            ReuseClass::WarmUser => self.contended(p.transitions.u_run),
+            ReuseClass::SnapshotUser => {
+                self.contended(p.transitions.u_run)
+                    + p.stages.user.mul_f64(self.config.snapshot_restore_frac)
+            }
+            ReuseClass::SharedPacked => {
+                self.contended(p.transitions.u_run) + self.config.packed_specialize
+            }
+            ReuseClass::SharedLang => {
+                self.contended(p.transitions.l_u) + p.stages.user
+                    + self.contended(p.transitions.u_run)
+            }
+            ReuseClass::SharedBare => {
+                self.contended(p.transitions.b_l)
+                    + p.stages.lang
+                    + self.contended(p.transitions.l_u)
+                    + p.stages.user
+                    + self.contended(p.transitions.u_run)
+            }
+        }
+    }
+
+    /// Background initialization latency for pre-warming up to `target`
+    /// (no final User→Run hand-off).
+    fn prewarm_duration(&mut self, p: &FunctionProfile, target: Layer) -> Micros {
+        let factor = self.cold_install_factor();
+        let mut d = p.stages.bare.mul_f64(factor);
+        if target >= Layer::Lang {
+            d += self.contended(p.transitions.b_l) + p.stages.lang.mul_f64(factor);
+        }
+        if target >= Layer::User {
+            d += self.contended(p.transitions.l_u) + p.stages.user.mul_f64(factor);
+        }
+        d
+    }
+
+    fn sample_exec(&mut self, p: &FunctionProfile) -> Micros {
+        if self.config.exec_jitter && p.exec.cv > 0.0 {
+            Micros::from_secs_f64(lognormal_mean_cv(
+                &mut self.rng,
+                p.exec.mean.as_secs_f64().max(1e-6),
+                p.exec.cv,
+            ))
+        } else {
+            p.exec.mean
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn handle_arrival(&mut self, f: FunctionId) {
+        if self.first_arrival[f.index()].is_none() {
+            self.first_arrival[f.index()] = Some(self.now);
+        }
+        let response = self.policy.on_arrival(&self.ctx(), f);
+        for req in response.prewarms {
+            self.events.push(
+                self.now + req.delay,
+                EventKind::PrewarmFire {
+                    function: req.function,
+                },
+            );
+        }
+        if !self.try_place(f, self.now) {
+            self.pending.push_back(QueuedInvocation {
+                function: f,
+                arrival: self.now,
+            });
+        }
+    }
+
+    /// Attempts to start an invocation of `f` (arrived at `arrival`,
+    /// admitted now). Returns false if no placement is possible under the
+    /// current memory budget.
+    fn try_place(&mut self, f: FunctionId, arrival: Instant) -> bool {
+        #[derive(Debug)]
+        enum Placement {
+            Reuse(ContainerId, ReuseClass),
+            Attach(ContainerId),
+            Cold,
+        }
+
+        let profile = self.catalog.profile(f).clone();
+        let mut options: Vec<(Micros, u8, Placement)> = Vec::new();
+
+        // Idle-container reuse options sanctioned by the policy.
+        let idle = self.pool.idle_views(None);
+        let ctx = self.ctx();
+        let mut reuse: Vec<(ContainerId, ReuseClass, Instant)> = idle
+            .iter()
+            .filter_map(|v| {
+                self.policy
+                    .reuse_class(&ctx, f, v)
+                    .map(|class| (v.id, class, v.idle_since))
+            })
+            .collect();
+        // Prefer warmest class, then most recently idle, then id — and
+        // keep only the best candidate per class to bound work.
+        reuse.sort_by_key(|&(id, class, since)| (class, std::cmp::Reverse(since), id));
+        let mut seen = [false; 5];
+        reuse.retain(|&(_, class, _)| {
+            let i = class as usize;
+            let keep = !seen[i];
+            seen[i] = true;
+            keep
+        });
+        for (id, class, _) in reuse {
+            let startup = self.startup_reuse(&profile, class);
+            options.push((startup, class_rank(class), Placement::Reuse(id, class)));
+        }
+
+        // Attach to an in-flight pre-warm.
+        if let Some(c) = self.pool.earliest_attachable_init(f) {
+            let (cid, done) = (c.id, c.init_done_at);
+            let startup = done.duration_since(self.now) + self.contended(profile.transitions.u_run);
+            options.push((startup, 5, Placement::Attach(cid)));
+        }
+
+        // Cold start.
+        let cold = self.startup_cold(&profile);
+        options.push((cold, 6, Placement::Cold));
+
+        options.sort_by_key(|&(startup, rank, _)| (startup, rank));
+
+        for (startup, _, placement) in options {
+            match placement {
+                Placement::Reuse(id, class) => {
+                    if self.execute_reuse(id, class, f, &profile, arrival, startup) {
+                        return true;
+                    }
+                }
+                Placement::Attach(id) => {
+                    if self.execute_attach(id, f, &profile, arrival, startup) {
+                        return true;
+                    }
+                }
+                Placement::Cold => {
+                    if self.execute_cold(f, &profile, arrival, startup) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn make_assignment(
+        &mut self,
+        f: FunctionId,
+        profile: &FunctionProfile,
+        arrival: Instant,
+        startup: Micros,
+        start_type: StartType,
+    ) -> AssignedInvocation {
+        AssignedInvocation {
+            function: f,
+            arrival,
+            admit: self.now,
+            startup,
+            exec: self.sample_exec(profile),
+            start_type,
+        }
+    }
+
+    fn execute_reuse(
+        &mut self,
+        id: ContainerId,
+        class: ReuseClass,
+        f: FunctionId,
+        profile: &FunctionProfile,
+        arrival: Instant,
+        startup: Micros,
+    ) -> bool {
+        let target_mem = profile.memory_at(Layer::User);
+        let current_mem = self.pool.get(id).expect("reuse target exists").memory;
+        if target_mem > current_mem {
+            let delta = target_mem - current_mem;
+            if !self.ensure_memory(delta, Some(id)) {
+                return false;
+            }
+        }
+        // The idle interval ends in a hit.
+        let (idle_since, mem_before) = {
+            let c = self.pool.get(id).expect("reuse target exists");
+            (c.idle_since, c.memory)
+        };
+        self.record_waste(mem_before, idle_since, self.now, IdleOutcome::Hit);
+
+        let start_type = match class {
+            ReuseClass::WarmUser => StartType::WarmUser,
+            ReuseClass::SnapshotUser => StartType::Snapshot,
+            ReuseClass::SharedPacked => StartType::Packed,
+            ReuseClass::SharedLang => StartType::SharedLang,
+            ReuseClass::SharedBare => StartType::SharedBare,
+        };
+        let assignment = self.make_assignment(f, profile, arrival, startup, start_type);
+        let exec_done = self.now + startup + assignment.exec;
+
+        match class {
+            ReuseClass::WarmUser | ReuseClass::SnapshotUser | ReuseClass::SharedPacked => {
+                self.pool.resize(id, target_mem);
+                let c = self.pool.get_mut(id).expect("reuse target exists");
+                if class == ReuseClass::SharedPacked {
+                    c.apply(LifecycleEvent::Adopt { function: f })
+                        .expect("packed container adoptable");
+                    c.packed.clear();
+                }
+                c.apply(LifecycleEvent::BeginExecution { function: f })
+                    .expect("idle user container can execute");
+                c.init_language = Some(profile.language);
+                c.assigned = Some(assignment);
+                self.events
+                    .push(exec_done, EventKind::ExecComplete { container: id });
+            }
+            ReuseClass::SharedLang | ReuseClass::SharedBare => {
+                self.pool.resize(id, target_mem);
+                let c = self.pool.get_mut(id).expect("reuse target exists");
+                c.apply(LifecycleEvent::BeginUpgrade {
+                    for_function: f,
+                    target: Layer::User,
+                })
+                .expect("idle lower-layer container upgradable");
+                c.init_for = Some(f);
+                c.init_language = Some(profile.language);
+                c.init_done_at = self.now + startup;
+                c.assigned = Some(assignment);
+                let epoch = c.epoch;
+                self.events.push(
+                    self.now + startup,
+                    EventKind::InitComplete {
+                        container: id,
+                        epoch,
+                    },
+                );
+            }
+        }
+        true
+    }
+
+    fn execute_attach(
+        &mut self,
+        id: ContainerId,
+        f: FunctionId,
+        profile: &FunctionProfile,
+        arrival: Instant,
+        startup: Micros,
+    ) -> bool {
+        let assignment =
+            self.make_assignment(f, profile, arrival, startup, StartType::Attached);
+        let c = match self.pool.get_mut(id) {
+            Some(c) if c.is_attachable_init() => c,
+            _ => return false,
+        };
+        c.assigned = Some(assignment);
+        true
+    }
+
+    fn execute_cold(
+        &mut self,
+        f: FunctionId,
+        profile: &FunctionProfile,
+        arrival: Instant,
+        startup: Micros,
+    ) -> bool {
+        let mem = profile.memory_at(Layer::User);
+        if !self.ensure_memory(mem, None) {
+            return false;
+        }
+        let assignment = self.make_assignment(f, profile, arrival, startup, StartType::Cold);
+        let id = self.pool.next_id();
+        let mut c = Container::new_initializing(
+            id,
+            self.now,
+            Layer::User,
+            f,
+            Some(profile.language),
+            mem,
+            self.now + startup,
+        );
+        c.assigned = Some(assignment);
+        let epoch = c.epoch;
+        self.pool.insert(c);
+        self.events.push(
+            self.now + startup,
+            EventKind::InitComplete {
+                container: id,
+                epoch,
+            },
+        );
+        true
+    }
+
+    /// Frees memory by evicting policy-chosen idle victims until `extra`
+    /// fits. Returns false if that is impossible.
+    fn ensure_memory(&mut self, extra: MemMb, exclude: Option<ContainerId>) -> bool {
+        while !self.pool.fits(extra) {
+            let candidates = self.pool.idle_views(exclude);
+            if candidates.is_empty() {
+                return false;
+            }
+            let ctx = self.ctx();
+            let victim = match self.policy.select_victim(&ctx, &candidates) {
+                Some(v) => v,
+                None => return false,
+            };
+            debug_assert!(
+                candidates.iter().any(|c| c.id == victim),
+                "victim must be one of the candidates"
+            );
+            // No queue drain here: the freed memory is claimed by the
+            // caller, and draining would recurse through try_place.
+            self.destroy_idle(victim);
+        }
+        true
+    }
+
+    /// Destroys an idle container, accounting its last idle interval as
+    /// never-hit waste. Does not touch the admission queue.
+    fn destroy_idle(&mut self, id: ContainerId) {
+        let (since, mem) = {
+            let c = self.pool.get(id).expect("terminating unknown container");
+            (c.idle_since, c.memory)
+        };
+        self.record_waste(mem, since, self.now, IdleOutcome::Miss);
+        self.pool.remove(id);
+        let ctx = self.ctx();
+        self.policy.on_terminated(&ctx, id);
+    }
+
+    /// Destroys an idle container and re-admits queued work into the
+    /// freed memory (the keep-alive-expiry path).
+    fn terminate_container(&mut self, id: ContainerId) {
+        self.destroy_idle(id);
+        self.drain_pending();
+    }
+
+    /// Idle footprint after peeling the top layer off the container in
+    /// `view` (language-specific for Lang, universal for Bare).
+    fn downgraded_footprint(&self, view: &rainbowcake_core::policy::ContainerView) -> MemMb {
+        let next = view
+            .layer
+            .downgrade()
+            .expect("downgrade decisions only occur above Bare");
+        let anchor = view
+            .language
+            .and_then(|lang| self.catalog.iter().find(|p| p.language == lang))
+            .or_else(|| self.catalog.iter().next())
+            .expect("catalog is non-empty");
+        anchor.memory_at(next)
+    }
+
+    fn handle_init_complete(&mut self, id: ContainerId, epoch: u64) {
+        let (target, init_for, language) = match self.pool.get(id) {
+            Some(c) if c.epoch == epoch => {
+                match c.state {
+                    rainbowcake_core::lifecycle::LifecycleState::Initializing {
+                        target, ..
+                    } => (target, c.init_for, c.init_language),
+                    _ => return, // stale
+                }
+            }
+            _ => return, // stale or gone
+        };
+        let owner = (target == Layer::User)
+            .then_some(init_for)
+            .flatten();
+        let lang_payload = (target >= Layer::Lang).then_some(language).flatten();
+        {
+            let c = self.pool.get_mut(id).expect("init target exists");
+            c.apply(LifecycleEvent::InitComplete {
+                language: lang_payload,
+                owner,
+            })
+            .expect("initialization completes into idle");
+        }
+        let assigned = self.pool.get(id).and_then(|c| c.assigned);
+        if let Some(inv) = assigned {
+            // An invocation is bound (cold start, partial warm start, or
+            // attach): begin execution immediately.
+            let exec_done = inv.admit + inv.startup + inv.exec;
+            let c = self.pool.get_mut(id).expect("init target exists");
+            c.apply(LifecycleEvent::BeginExecution {
+                function: inv.function,
+            })
+            .expect("initialized container can execute its invocation");
+            self.events
+                .push(exec_done, EventKind::ExecComplete { container: id });
+        } else {
+            // Pure pre-warm: go idle and arm the keep-alive TTL.
+            {
+                let c = self.pool.get_mut(id).expect("init target exists");
+                c.idle_since = self.now;
+            }
+            self.arm_idle_ttl(id);
+            self.drain_pending();
+        }
+    }
+
+    fn handle_exec_complete(&mut self, id: ContainerId) {
+        let inv = {
+            let c = self.pool.get_mut(id).expect("running container exists");
+            let inv = c.assigned.take().expect("running container has invocation");
+            let lang = c.init_language.expect("running container has language");
+            c.finish_exec(lang).expect("running container completes");
+            c.hits += 1;
+            c.idle_since = self.now;
+            inv
+        };
+        self.metrics.record_invocation(InvocationRecord {
+            function: inv.function,
+            arrival: inv.arrival,
+            queue: inv.admit.duration_since(inv.arrival),
+            startup: inv.startup,
+            exec: inv.exec,
+            start_type: inv.start_type,
+        });
+        self.arm_idle_ttl(id);
+        self.drain_pending();
+    }
+
+    /// Asks the policy for the idle TTL of a freshly idle container and
+    /// schedules the timeout (unless the TTL is unbounded).
+    fn arm_idle_ttl(&mut self, id: ContainerId) {
+        let view = self.pool.get(id).expect("idle container exists").view();
+        let ctx = self.ctx();
+        let ttl = self.policy.on_idle(&ctx, &view);
+        self.schedule_timeout(id, ttl);
+    }
+
+    fn schedule_timeout(&mut self, id: ContainerId, ttl: Micros) {
+        if ttl == Micros::MAX {
+            return; // never expires (e.g. FaaSCache keep-alive)
+        }
+        let epoch = self.pool.get(id).expect("container exists").epoch;
+        self.events.push(
+            self.now + ttl,
+            EventKind::IdleTimeout {
+                container: id,
+                epoch,
+            },
+        );
+    }
+
+    fn handle_idle_timeout(&mut self, id: ContainerId, epoch: u64) {
+        let view = match self.pool.get(id) {
+            Some(c) if c.epoch == epoch && c.is_idle() => c.view(),
+            _ => return, // stale (container reused, repurposed, or gone)
+        };
+        let ctx = self.ctx();
+        let decision = self.policy.on_timeout(&ctx, &view);
+        match decision {
+            TimeoutDecision::Terminate => {
+                self.terminate_container(id);
+            }
+            TimeoutDecision::Downgrade { ttl } => {
+                // The expired idle interval never got hit.
+                self.record_waste(view.memory, view.idle_since, self.now, IdleOutcome::Miss);
+                let new_mem = self.downgraded_footprint(&view);
+                {
+                    let c = self.pool.get_mut(id).expect("container exists");
+                    c.apply(LifecycleEvent::Downgrade)
+                        .expect("policy downgrades only above Bare");
+                    c.idle_since = self.now;
+                    c.packed.clear();
+                }
+                self.pool.resize(id, new_mem);
+                self.schedule_timeout(id, ttl);
+                self.drain_pending();
+            }
+            TimeoutDecision::Repack {
+                extra_functions,
+                ttl,
+            } => {
+                self.record_waste(view.memory, view.idle_since, self.now, IdleOutcome::Miss);
+                // Installing the extra packages inflates the container.
+                let extra_mem: MemMb = extra_functions
+                    .iter()
+                    .map(|&g| {
+                        let p = self.catalog.profile(g);
+                        p.memory_at(Layer::User)
+                            .saturating_sub(p.memory_at(Layer::Lang))
+                    })
+                    .sum();
+                let can_inflate = extra_mem.is_zero() || self.ensure_memory(extra_mem, Some(id));
+                if !can_inflate {
+                    // No room to install the helper packages: recycle
+                    // instead of re-arming the same decision forever.
+                    self.terminate_container(id);
+                    return;
+                }
+                let c = self.pool.get_mut(id).expect("container exists");
+                c.bump_epoch();
+                c.idle_since = self.now;
+                let new_mem = c.memory + extra_mem;
+                c.packed = extra_functions;
+                self.pool.resize(id, new_mem);
+                self.schedule_timeout(id, ttl);
+            }
+        }
+    }
+
+    fn handle_prewarm_fire(&mut self, f: FunctionId) {
+        // Alg. 1 line 3: only an *idle* User container counts as
+        // available. During a burst every container is busy, so the
+        // pre-warm stream keeps feeding fresh containers — exactly the
+        // burst tolerance §5.2 claims.
+        let has_idle_user = self.pool.has_idle_user(f);
+        let ctx = self.ctx();
+        let decision = self.policy.on_prewarm_fire(&ctx, f, has_idle_user);
+        let target = match decision {
+            PrewarmDecision::Skip => return,
+            PrewarmDecision::Warm { target } => target,
+        };
+        let profile = self.catalog.profile(f).clone();
+        let mem = profile.memory_at(target);
+        // Pre-warms are opportunistic: they never evict warm state.
+        if !self.pool.fits(mem) {
+            return;
+        }
+        let duration = self.prewarm_duration(&profile, target);
+        let language = (target >= Layer::Lang).then_some(profile.language);
+        let id = self.pool.next_id();
+        let c = Container::new_initializing(
+            id,
+            self.now,
+            target,
+            f,
+            language,
+            mem,
+            self.now + duration,
+        );
+        let epoch = c.epoch;
+        self.pool.insert(c);
+        self.events.push(
+            self.now + duration,
+            EventKind::InitComplete {
+                container: id,
+                epoch,
+            },
+        );
+    }
+
+    /// FIFO re-admission of invocations that queued under memory
+    /// pressure.
+    fn drain_pending(&mut self) {
+        while let Some(&head) = self.pending.front() {
+            if self.try_place(head.function, head.arrival) {
+                self.pending.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn class_rank(class: ReuseClass) -> u8 {
+    match class {
+        ReuseClass::WarmUser => 0,
+        ReuseClass::SnapshotUser => 1,
+        ReuseClass::SharedPacked => 2,
+        ReuseClass::SharedLang => 3,
+        ReuseClass::SharedBare => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbowcake_core::policy::{ArrivalResponse, ContainerView};
+    use rainbowcake_core::profile::FunctionProfile;
+    use rainbowcake_core::types::Language;
+    use rainbowcake_trace::Arrival;
+
+    /// A configurable test policy: fixed TTL, optional layer sharing,
+    /// optional pre-warming.
+    struct TestPolicy {
+        ttl: Micros,
+        share_layers: bool,
+        downgrade: bool,
+        prewarm_delay: Option<Micros>,
+    }
+
+    impl TestPolicy {
+        fn keepalive(ttl: Micros) -> Self {
+            TestPolicy {
+                ttl,
+                share_layers: false,
+                downgrade: false,
+                prewarm_delay: None,
+            }
+        }
+    }
+
+    impl Policy for TestPolicy {
+        fn name(&self) -> &'static str {
+            "Test"
+        }
+        fn on_arrival(&mut self, _: &PolicyCtx<'_>, f: FunctionId) -> ArrivalResponse {
+            match self.prewarm_delay {
+                Some(d) => ArrivalResponse::prewarm(f, d, Layer::User),
+                None => ArrivalResponse::none(),
+            }
+        }
+        fn reuse_class(
+            &self,
+            ctx: &PolicyCtx<'_>,
+            f: FunctionId,
+            c: &ContainerView,
+        ) -> Option<ReuseClass> {
+            match c.layer {
+                Layer::User if c.owner == Some(f) => Some(ReuseClass::WarmUser),
+                Layer::Lang
+                    if self.share_layers
+                        && c.language == Some(ctx.profile(f).language) =>
+                {
+                    Some(ReuseClass::SharedLang)
+                }
+                Layer::Bare if self.share_layers => Some(ReuseClass::SharedBare),
+                _ => None,
+            }
+        }
+        fn on_idle(&mut self, _: &PolicyCtx<'_>, _: &ContainerView) -> Micros {
+            self.ttl
+        }
+        fn on_timeout(&mut self, _: &PolicyCtx<'_>, c: &ContainerView) -> TimeoutDecision {
+            if self.downgrade && c.layer.downgrade().is_some() {
+                TimeoutDecision::Downgrade { ttl: self.ttl }
+            } else {
+                TimeoutDecision::Terminate
+            }
+        }
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Python));
+        c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Python));
+        c
+    }
+
+    fn trace_of(times_s: &[(u64, u32)], horizon_s: u64) -> Trace {
+        Trace::from_arrivals(
+            Micros::from_secs(horizon_s),
+            times_s
+                .iter()
+                .map(|&(s, f)| Arrival {
+                    time: Instant::from_micros(s * 1_000_000),
+                    function: FunctionId::new(f),
+                })
+                .collect(),
+        )
+    }
+
+    fn config() -> SimConfig {
+        SimConfig::deterministic(1)
+    }
+
+    #[test]
+    fn cold_then_warm_reuse() {
+        let cat = catalog();
+        let mut p = TestPolicy::keepalive(Micros::from_mins(10));
+        // Two invocations 30 s apart: first cold, second hits the idle
+        // User container.
+        let report = run(&cat, &mut p, &trace_of(&[(0, 0), (30, 0)], 300), &config());
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.records[0].start_type, StartType::Cold);
+        assert_eq!(report.records[1].start_type, StartType::WarmUser);
+        // Warm startup is just the User->Run hand-off.
+        let profile = cat.profile(FunctionId::new(0));
+        assert_eq!(report.records[0].startup, profile.cold_startup());
+        assert_eq!(report.records[1].startup, profile.transitions.u_run);
+    }
+
+    #[test]
+    fn expired_container_causes_second_cold_start() {
+        let cat = catalog();
+        let mut p = TestPolicy::keepalive(Micros::from_secs(5));
+        let report = run(&cat, &mut p, &trace_of(&[(0, 0), (60, 0)], 300), &config());
+        assert_eq!(report.cold_starts(), 2);
+    }
+
+    #[test]
+    fn layer_sharing_gives_partial_warm_starts() {
+        let cat = catalog();
+        let mut p = TestPolicy {
+            ttl: Micros::from_secs(20),
+            share_layers: true,
+            downgrade: true,
+            prewarm_delay: None,
+        };
+        // fn0 runs, idles 20 s, downgrades to Lang; fn1 (same language)
+        // arrives and reuses the Lang container.
+        let report = run(&cat, &mut p, &trace_of(&[(0, 0), (30, 1)], 300), &config());
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.records[1].start_type, StartType::SharedLang);
+        let p1 = cat.profile(FunctionId::new(1));
+        let expected =
+            p1.transitions.l_u + p1.stages.user + p1.transitions.u_run;
+        assert_eq!(report.records[1].startup, expected);
+    }
+
+    #[test]
+    fn downgrade_chain_reaches_bare_then_dies() {
+        let cat = catalog();
+        let mut p = TestPolicy {
+            ttl: Micros::from_secs(10),
+            share_layers: true,
+            downgrade: true,
+            prewarm_delay: None,
+        };
+        let report = run(&cat, &mut p, &trace_of(&[(0, 0)], 120), &config());
+        assert_eq!(report.records.len(), 1);
+        // After execution: idle User 10 s -> Lang 10 s -> Bare 10 s ->
+        // terminated. All idle waste is never-hit.
+        assert!(report.waste.miss_total().value() > 0.0);
+        assert_eq!(report.waste.hit_total().value(), 0.0);
+    }
+
+    #[test]
+    fn waste_splits_hit_and_miss() {
+        let cat = catalog();
+        let mut p = TestPolicy::keepalive(Micros::from_secs(30));
+        // Second invocation hits the idle container: that idle interval
+        // is "eventually hit"; the final idle interval expires unhit.
+        let report = run(&cat, &mut p, &trace_of(&[(0, 0), (20, 0)], 300), &config());
+        assert!(report.waste.hit_total().value() > 0.0);
+        assert!(report.waste.miss_total().value() > 0.0);
+    }
+
+    #[test]
+    fn prewarm_then_attach() {
+        let cat = catalog();
+        let profile = cat.profile(FunctionId::new(0)).clone();
+        let mut p = TestPolicy {
+            ttl: Micros::from_secs(2),
+            share_layers: false,
+            downgrade: false,
+            prewarm_delay: Some(Micros::from_secs(30)),
+        };
+        // Arrival at t=0 (cold) schedules a pre-warm at t=30. The
+        // container expires at ~2 s after its first idle. The pre-warm
+        // fires at t=30; a second arrival at t=31 lands mid-warming and
+        // attaches ("Load" in Fig. 10).
+        let report = run(&cat, &mut p, &trace_of(&[(0, 0), (31, 0)], 300), &config());
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.records[1].start_type, StartType::Attached);
+        // The attached startup is shorter than a cold start.
+        assert!(report.records[1].startup < profile.cold_startup());
+    }
+
+    #[test]
+    fn memory_pressure_queues_invocations() {
+        let cat = catalog();
+        let mut p = TestPolicy::keepalive(Micros::from_mins(10));
+        // Capacity fits exactly one User container (190 MB synthetic);
+        // two simultaneous invocations of different functions: the
+        // second must queue until the first finishes... but the first
+        // container stays idle-alive, so the queue drains only via
+        // eviction of the idle container.
+        let mut cfg = config();
+        cfg.memory_capacity = MemMb::new(200);
+        let report = run(&cat, &mut p, &trace_of(&[(0, 0), (0, 1)], 600), &cfg);
+        assert_eq!(report.records.len(), 2);
+        let r1 = &report.records[1];
+        assert!(r1.queue > Micros::ZERO, "second invocation must queue");
+        assert_eq!(r1.start_type, StartType::Cold);
+    }
+
+    #[test]
+    fn zero_capacity_completes_nothing() {
+        let cat = catalog();
+        let mut p = TestPolicy::keepalive(Micros::from_mins(10));
+        let mut cfg = config();
+        cfg.memory_capacity = MemMb::new(10);
+        let report = run(&cat, &mut p, &trace_of(&[(0, 0)], 60), &cfg);
+        assert_eq!(report.records.len(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cat = catalog();
+        let trace = trace_of(&[(0, 0), (10, 1), (20, 0), (40, 1)], 300);
+        let cfg = SimConfig {
+            seed: 99,
+            ..SimConfig::default()
+        };
+        let mut p1 = TestPolicy::keepalive(Micros::from_mins(1));
+        let a = run(&cat, &mut p1, &trace, &cfg);
+        let mut p2 = TestPolicy::keepalive(Micros::from_mins(1));
+        let b = run(&cat, &mut p2, &trace, &cfg);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.waste, b.waste);
+    }
+
+    #[test]
+    fn checkpoint_restores_faster_but_holds_images() {
+        let cat = catalog();
+        let trace = trace_of(&[(0, 0), (120, 0)], 300);
+        let mut cfg = config();
+        // Short TTL: both invocations are cold.
+        let mut p1 = TestPolicy::keepalive(Micros::from_secs(1));
+        let base = run(&cat, &mut p1, &trace, &cfg);
+        cfg.checkpoint = Some(crate::config::CheckpointConfig::default());
+        let mut p2 = TestPolicy::keepalive(Micros::from_secs(1));
+        let cp = run(&cat, &mut p2, &trace, &cfg);
+        assert!(cp.total_startup() < base.total_startup());
+        assert!(cp.total_waste().value() > base.total_waste().value());
+    }
+
+    #[test]
+    fn queue_time_counts_in_e2e() {
+        let cat = catalog();
+        let mut p = TestPolicy::keepalive(Micros::from_mins(10));
+        let mut cfg = config();
+        cfg.memory_capacity = MemMb::new(200);
+        let report = run(&cat, &mut p, &trace_of(&[(0, 0), (0, 1)], 600), &cfg);
+        let r = &report.records[1];
+        assert_eq!(r.e2e(), r.queue + r.startup + r.exec);
+    }
+}

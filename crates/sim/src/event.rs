@@ -1,0 +1,162 @@
+//! The discrete-event core: timestamped events with a deterministic
+//! total order (time, then insertion sequence).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rainbowcake_core::time::Instant;
+use rainbowcake_core::types::{ContainerId, FunctionId};
+
+/// Everything that can happen in the simulated platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// An invocation of `function` arrives.
+    Arrival {
+        /// Invoked function.
+        function: FunctionId,
+    },
+    /// A container finished initializing (cold start, partial warm
+    /// start, or pre-warm). `epoch` guards against stale events after
+    /// the container was repurposed.
+    InitComplete {
+        /// The container.
+        container: ContainerId,
+        /// Epoch the event was scheduled in.
+        epoch: u64,
+    },
+    /// A running container finished executing its invocation.
+    ExecComplete {
+        /// The container.
+        container: ContainerId,
+    },
+    /// An idle container's keep-alive TTL expired.
+    IdleTimeout {
+        /// The container.
+        container: ContainerId,
+        /// Epoch the TTL was armed in; stale epochs are ignored.
+        epoch: u64,
+    },
+    /// A pre-warm timer scheduled by the policy fired (Alg. 1).
+    PrewarmFire {
+        /// Function to consider pre-warming.
+        function: FunctionId,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub time: Instant,
+    /// Monotone sequence number breaking time ties deterministically.
+    pub seq: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops
+        // first, with the insertion sequence breaking ties.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at `time`.
+    pub fn push(&mut self, time: Instant, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Pops the earliest event (FIFO among equal timestamps).
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> Instant {
+        Instant::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), EventKind::PrewarmFire { function: FunctionId::new(3) });
+        q.push(t(10), EventKind::PrewarmFire { function: FunctionId::new(1) });
+        q.push(t(20), EventKind::PrewarmFire { function: FunctionId::new(2) });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.as_micros()).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..5u32 {
+            q.push(t(100), EventKind::PrewarmFire { function: FunctionId::new(i) });
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::PrewarmFire { function } => function.index() as u32,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(t(50), EventKind::PrewarmFire { function: FunctionId::new(0) });
+        q.push(t(10), EventKind::PrewarmFire { function: FunctionId::new(1) });
+        let first = q.pop().unwrap();
+        assert_eq!(first.time, t(10));
+        q.push(t(20), EventKind::PrewarmFire { function: FunctionId::new(2) });
+        assert_eq!(q.pop().unwrap().time, t(20));
+        assert_eq!(q.pop().unwrap().time, t(50));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.push(t(1), EventKind::PrewarmFire { function: FunctionId::new(0) });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! The worker's container pool: deterministic container storage with
+//! exact memory accounting.
+
+use std::collections::BTreeMap;
+
+use rainbowcake_core::mem::MemMb;
+use rainbowcake_core::policy::ContainerView;
+use rainbowcake_core::types::{ContainerId, FunctionId, Layer};
+
+use crate::container::Container;
+
+/// The container pool of one worker node.
+///
+/// Containers are stored in a `BTreeMap` so every iteration order (and
+/// therefore every simulation) is deterministic.
+#[derive(Debug)]
+pub struct Pool {
+    capacity: MemMb,
+    used: MemMb,
+    containers: BTreeMap<ContainerId, Container>,
+    next_id: u64,
+}
+
+impl Pool {
+    /// Creates an empty pool with the given memory budget.
+    pub fn new(capacity: MemMb) -> Self {
+        Pool {
+            capacity,
+            used: MemMb::ZERO,
+            containers: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The memory budget.
+    pub fn capacity(&self) -> MemMb {
+        self.capacity
+    }
+
+    /// Memory currently allocated to containers.
+    pub fn used(&self) -> MemMb {
+        self.used
+    }
+
+    /// Memory still free.
+    pub fn free(&self) -> MemMb {
+        self.capacity - self.used
+    }
+
+    /// Allocates the next container id.
+    pub fn next_id(&mut self) -> ContainerId {
+        let id = ContainerId::new(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Inserts a container, charging its memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container does not fit (callers must reserve
+    /// memory first) or the id is already present.
+    pub fn insert(&mut self, container: Container) {
+        assert!(
+            container.memory + self.used <= self.capacity,
+            "pool overcommitted: inserting {} with {} used of {}",
+            container.memory,
+            self.used,
+            self.capacity
+        );
+        self.used += container.memory;
+        let prev = self.containers.insert(container.id, container);
+        assert!(prev.is_none(), "duplicate container id");
+    }
+
+    /// Removes a container, releasing its memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn remove(&mut self, id: ContainerId) -> Container {
+        let c = self.containers.remove(&id).expect("unknown container");
+        self.used -= c.memory;
+        c
+    }
+
+    /// Shared access to a container.
+    pub fn get(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.get(&id)
+    }
+
+    /// Exclusive access to a container.
+    pub fn get_mut(&mut self, id: ContainerId) -> Option<&mut Container> {
+        self.containers.get_mut(&id)
+    }
+
+    /// Changes a container's memory footprint, keeping the pool total
+    /// exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown or the new total would exceed the
+    /// budget.
+    pub fn resize(&mut self, id: ContainerId, new_memory: MemMb) {
+        let c = self.containers.get_mut(&id).expect("unknown container");
+        let new_used = self.used - c.memory + new_memory;
+        assert!(
+            new_used <= self.capacity,
+            "pool overcommitted by resize to {new_memory}"
+        );
+        self.used = new_used;
+        c.memory = new_memory;
+    }
+
+    /// Whether `extra` more memory fits right now.
+    pub fn fits(&self, extra: MemMb) -> bool {
+        self.used + extra <= self.capacity
+    }
+
+    /// Number of live containers.
+    pub fn len(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Whether the pool has no containers.
+    pub fn is_empty(&self) -> bool {
+        self.containers.is_empty()
+    }
+
+    /// Iterates over containers in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Container> {
+        self.containers.values()
+    }
+
+    /// Views of all idle containers, optionally excluding one id, in id
+    /// order.
+    pub fn idle_views(&self, exclude: Option<ContainerId>) -> Vec<ContainerView> {
+        self.containers
+            .values()
+            .filter(|c| c.is_idle() && Some(c.id) != exclude)
+            .map(|c| c.view())
+            .collect()
+    }
+
+    /// Whether an idle `User` container owned by `f` exists (Alg. 1's
+    /// availability check).
+    pub fn has_idle_user(&self, f: FunctionId) -> bool {
+        self.containers
+            .values()
+            .any(|c| c.is_idle() && c.layer() == Some(Layer::User) && c.owner() == Some(f))
+    }
+
+    /// Number of containers currently initializing (drives the Fig. 13
+    /// contention model).
+    pub fn initializing_count(&self) -> usize {
+        self.containers
+            .values()
+            .filter(|c| {
+                matches!(
+                    c.state,
+                    rainbowcake_core::lifecycle::LifecycleState::Initializing { .. }
+                )
+            })
+            .count()
+    }
+
+    /// The attachable in-flight initialization for `f` that completes
+    /// earliest, if any (the `Load` reuse path).
+    pub fn earliest_attachable_init(&self, f: FunctionId) -> Option<&Container> {
+        self.containers
+            .values()
+            .filter(|c| {
+                c.is_attachable_init()
+                    && c.init_for == Some(f)
+                    && c.layer() == Some(Layer::User)
+            })
+            .min_by_key(|c| (c.init_done_at, c.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbowcake_core::lifecycle::LifecycleEvent;
+    use rainbowcake_core::time::Instant;
+    use rainbowcake_core::types::Language;
+
+    fn container(id: u64, mem: u64) -> Container {
+        Container::new_initializing(
+            ContainerId::new(id),
+            Instant::ZERO,
+            Layer::User,
+            FunctionId::new(0),
+            Some(Language::Python),
+            MemMb::new(mem),
+            Instant::from_micros(1),
+        )
+    }
+
+    fn idle_container(id: u64, mem: u64) -> Container {
+        let mut c = container(id, mem);
+        c.apply(LifecycleEvent::InitComplete {
+            language: Some(Language::Python),
+            owner: Some(FunctionId::new(0)),
+        })
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn memory_conservation() {
+        let mut p = Pool::new(MemMb::new(1_000));
+        p.insert(container(0, 300));
+        p.insert(container(1, 200));
+        assert_eq!(p.used(), MemMb::new(500));
+        assert_eq!(p.free(), MemMb::new(500));
+        p.resize(ContainerId::new(0), MemMb::new(100));
+        assert_eq!(p.used(), MemMb::new(300));
+        p.remove(ContainerId::new(1));
+        assert_eq!(p.used(), MemMb::new(100));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overcommitted")]
+    fn insert_rejects_overcommit() {
+        let mut p = Pool::new(MemMb::new(100));
+        p.insert(container(0, 200));
+    }
+
+    #[test]
+    fn fits_checks_budget() {
+        let mut p = Pool::new(MemMb::new(100));
+        assert!(p.fits(MemMb::new(100)));
+        p.insert(container(0, 60));
+        assert!(p.fits(MemMb::new(40)));
+        assert!(!p.fits(MemMb::new(41)));
+    }
+
+    #[test]
+    fn idle_views_and_user_lookup() {
+        let mut p = Pool::new(MemMb::new(1_000));
+        p.insert(idle_container(0, 100)); // idle User of fn 0
+        p.insert(container(1, 100)); // still initializing
+        assert_eq!(p.idle_views(None).len(), 1);
+        assert_eq!(p.idle_views(Some(ContainerId::new(0))).len(), 0);
+        assert!(p.has_idle_user(FunctionId::new(0)));
+        assert!(!p.has_idle_user(FunctionId::new(1)));
+        assert_eq!(p.initializing_count(), 1);
+    }
+
+    #[test]
+    fn earliest_attachable_init_picks_soonest() {
+        let mut p = Pool::new(MemMb::new(1_000));
+        let mut a = container(0, 100);
+        a.init_done_at = Instant::from_micros(500);
+        let mut b = container(1, 100);
+        b.init_done_at = Instant::from_micros(200);
+        p.insert(a);
+        p.insert(b);
+        let best = p.earliest_attachable_init(FunctionId::new(0)).unwrap();
+        assert_eq!(best.id, ContainerId::new(1));
+        // None for a function nobody is warming.
+        assert!(p.earliest_attachable_init(FunctionId::new(9)).is_none());
+    }
+
+    #[test]
+    fn ids_are_monotone() {
+        let mut p = Pool::new(MemMb::new(100));
+        let a = p.next_id();
+        let b = p.next_id();
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,389 @@
+//! Tiered container caching (§8, "RainbowCake with tiered caching").
+//!
+//! The paper sketches an extension where container layers are cached
+//! adaptively across DRAM and NVM: frequently-hit or latency-critical
+//! layers stay in fast memory, the rest are demoted to NVM and restored
+//! on demand at a bandwidth-limited cost.
+//!
+//! This module implements that cache as a standalone, exactly-testable
+//! component: a two-tier store of layer snapshots with
+//! priority-directed placement (priority = hit rate × startup saved per
+//! byte) and an eviction/demotion pipeline (DRAM → NVM → gone). The
+//! `tiered_cache` bench binary drives it with the access stream of a
+//! real simulation to estimate hit ratios and restore penalties.
+
+use std::collections::HashMap;
+
+use rainbowcake_core::mem::MemMb;
+use rainbowcake_core::time::Micros;
+use rainbowcake_core::types::{FunctionId, Layer};
+
+/// Where a cached layer snapshot currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Fast memory: restores are effectively free.
+    Dram,
+    /// Non-volatile memory: restores pay a bandwidth cost.
+    Nvm,
+}
+
+/// Configuration of the two tiers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TieredConfig {
+    /// DRAM budget for cached snapshots.
+    pub dram_capacity: MemMb,
+    /// NVM budget for demoted snapshots.
+    pub nvm_capacity: MemMb,
+    /// NVM read bandwidth in MB per millisecond (~2 GB/s → 2.0).
+    pub nvm_mb_per_ms: f64,
+}
+
+impl Default for TieredConfig {
+    fn default() -> Self {
+        TieredConfig {
+            dram_capacity: MemMb::from_gb(8),
+            nvm_capacity: MemMb::from_gb(64),
+            nvm_mb_per_ms: 2.0,
+        }
+    }
+}
+
+/// Key of a cached snapshot: one layer of one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SnapshotKey {
+    /// Owning function.
+    pub function: FunctionId,
+    /// Cached layer.
+    pub layer: Layer,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    tier: Tier,
+    size: MemMb,
+    /// Startup latency a hit on this snapshot saves.
+    saves: Micros,
+    hits: u64,
+    lookups: u64,
+}
+
+impl Entry {
+    /// Placement priority: saved startup per megabyte, weighted by the
+    /// observed hit rate (the §8 "statistics such as hit rate and
+    /// memory footprint").
+    fn priority(&self) -> f64 {
+        let hit_rate = if self.lookups == 0 {
+            0.5 // optimistic prior for fresh entries
+        } else {
+            self.hits as f64 / self.lookups as f64
+        };
+        hit_rate * self.saves.as_millis_f64() / self.size.as_mb().max(1) as f64
+    }
+}
+
+/// Outcome of a lookup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Lookup {
+    /// Found in DRAM: restored instantly.
+    DramHit,
+    /// Found in NVM: restored after the returned delay, then promoted.
+    NvmHit(Micros),
+    /// Not cached.
+    Miss,
+}
+
+/// A two-tier (DRAM + NVM) cache of container-layer snapshots.
+#[derive(Debug)]
+pub struct TieredCache {
+    config: TieredConfig,
+    entries: HashMap<SnapshotKey, Entry>,
+    dram_used: MemMb,
+    nvm_used: MemMb,
+}
+
+impl TieredCache {
+    /// Creates an empty cache.
+    pub fn new(config: TieredConfig) -> Self {
+        TieredCache {
+            config,
+            entries: HashMap::new(),
+            dram_used: MemMb::ZERO,
+            nvm_used: MemMb::ZERO,
+        }
+    }
+
+    /// DRAM bytes in use.
+    pub fn dram_used(&self) -> MemMb {
+        self.dram_used
+    }
+
+    /// NVM bytes in use.
+    pub fn nvm_used(&self) -> MemMb {
+        self.nvm_used
+    }
+
+    /// Number of cached snapshots across both tiers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The restore delay of an NVM-resident snapshot of `size`.
+    pub fn nvm_restore_delay(&self, size: MemMb) -> Micros {
+        Micros::from_millis_f64(size.as_mb() as f64 / self.config.nvm_mb_per_ms)
+    }
+
+    /// Inserts (or refreshes) a snapshot, preferring DRAM and demoting
+    /// lower-priority entries as needed. Entries that fit nowhere are
+    /// dropped.
+    pub fn insert(&mut self, key: SnapshotKey, size: MemMb, saves: Micros) {
+        if let Some(e) = self.entries.get_mut(&key) {
+            // Refresh in place (size/saves may have changed).
+            match e.tier {
+                Tier::Dram => self.dram_used -= e.size,
+                Tier::Nvm => self.nvm_used -= e.size,
+            }
+            self.entries.remove(&key);
+        }
+        let entry = Entry {
+            tier: Tier::Dram,
+            size,
+            saves,
+            hits: 0,
+            lookups: 0,
+        };
+        let priority = entry.priority();
+        if self.make_room(Tier::Dram, size, priority) {
+            self.dram_used += size;
+            self.entries.insert(key, entry);
+        } else if self.make_room(Tier::Nvm, size, priority) {
+            self.nvm_used += size;
+            self.entries.insert(
+                key,
+                Entry {
+                    tier: Tier::Nvm,
+                    ..entry
+                },
+            );
+        }
+        // else: dropped.
+    }
+
+    /// Looks a snapshot up, updating hit statistics; NVM hits are
+    /// promoted back to DRAM (demoting victims if necessary).
+    pub fn lookup(&mut self, key: SnapshotKey) -> Lookup {
+        let Some(e) = self.entries.get_mut(&key) else {
+            return Lookup::Miss;
+        };
+        e.lookups += 1;
+        e.hits += 1;
+        let (tier, size, saves) = (e.tier, e.size, e.saves);
+        match tier {
+            Tier::Dram => Lookup::DramHit,
+            Tier::Nvm => {
+                let delay = self.nvm_restore_delay(size);
+                // Promote only if DRAM space can actually be made; the
+                // entry keeps its NVM slot while the copy is in flight,
+                // so demoted DRAM victims must find their own room.
+                let priority = self
+                    .entries
+                    .get(&key)
+                    .expect("entry exists")
+                    .priority();
+                if self.make_room(Tier::Dram, size, priority) {
+                    let mut old = self.entries.remove(&key).expect("entry exists");
+                    self.nvm_used -= size;
+                    old.tier = Tier::Dram;
+                    self.dram_used += size;
+                    self.entries.insert(key, old);
+                }
+                let _ = saves;
+                Lookup::NvmHit(delay)
+            }
+        }
+    }
+
+    /// Records a lookup miss against an uncached key's statistics is
+    /// not possible (it has none); misses are implicit.
+    ///
+    /// Frees room in `tier` for `size`, demoting (DRAM→NVM) or dropping
+    /// (NVM) strictly lower-priority victims. Returns false if the
+    /// space cannot be freed without evicting higher-priority entries.
+    fn make_room(&mut self, tier: Tier, size: MemMb, incoming_priority: f64) -> bool {
+        let capacity = match tier {
+            Tier::Dram => self.config.dram_capacity,
+            Tier::Nvm => self.config.nvm_capacity,
+        };
+        if size > capacity {
+            return false;
+        }
+        loop {
+            let used = match tier {
+                Tier::Dram => self.dram_used,
+                Tier::Nvm => self.nvm_used,
+            };
+            if used + size <= capacity {
+                return true;
+            }
+            // Lowest-priority resident of this tier.
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.tier == tier)
+                .min_by(|a, b| {
+                    a.1.priority()
+                        .partial_cmp(&b.1.priority())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(b.0))
+                })
+                .map(|(k, e)| (*k, e.priority()));
+            let Some((vk, vp)) = victim else { return false };
+            if vp >= incoming_priority {
+                return false; // everything resident is more valuable
+            }
+            let e = self.entries.remove(&vk).expect("victim exists");
+            match tier {
+                Tier::Dram => {
+                    self.dram_used -= e.size;
+                    // Demote to NVM if it fits there on its own merit.
+                    if self.make_room(Tier::Nvm, e.size, e.priority()) {
+                        self.nvm_used += e.size;
+                        self.entries.insert(
+                            vk,
+                            Entry {
+                                tier: Tier::Nvm,
+                                ..e
+                            },
+                        );
+                    }
+                }
+                Tier::Nvm => {
+                    self.nvm_used -= e.size;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(f: u32, layer: Layer) -> SnapshotKey {
+        SnapshotKey {
+            function: FunctionId::new(f),
+            layer,
+        }
+    }
+
+    fn small_cache() -> TieredCache {
+        TieredCache::new(TieredConfig {
+            dram_capacity: MemMb::new(300),
+            nvm_capacity: MemMb::new(600),
+            nvm_mb_per_ms: 2.0,
+        })
+    }
+
+    #[test]
+    fn inserts_prefer_dram() {
+        let mut c = small_cache();
+        c.insert(key(0, Layer::User), MemMb::new(200), Micros::from_secs(2));
+        assert_eq!(c.lookup(key(0, Layer::User)), Lookup::DramHit);
+        assert_eq!(c.dram_used(), MemMb::new(200));
+    }
+
+    #[test]
+    fn overflow_demotes_lowest_priority_to_nvm() {
+        let mut c = small_cache();
+        // Low priority: saves little per MB.
+        c.insert(key(0, Layer::User), MemMb::new(200), Micros::from_millis(100));
+        // High priority: saves a lot per MB; DRAM (300) can't hold both.
+        c.insert(key(1, Layer::User), MemMb::new(200), Micros::from_secs(5));
+        match c.lookup(key(1, Layer::User)) {
+            Lookup::DramHit => {}
+            other => panic!("high-priority entry should be in DRAM, got {other:?}"),
+        }
+        // After promotion shuffles, both entries still exist somewhere.
+        assert_eq!(c.len(), 2);
+        assert!(c.dram_used() <= MemMb::new(300));
+        assert!(c.nvm_used() <= MemMb::new(600));
+    }
+
+    #[test]
+    fn nvm_hit_pays_bandwidth_and_promotes() {
+        let mut c = TieredCache::new(TieredConfig {
+            dram_capacity: MemMb::new(100),
+            nvm_capacity: MemMb::new(600),
+            nvm_mb_per_ms: 2.0,
+        });
+        // Too big for DRAM: lands in NVM.
+        c.insert(key(0, Layer::User), MemMb::new(400), Micros::from_secs(3));
+        match c.lookup(key(0, Layer::User)) {
+            Lookup::NvmHit(delay) => {
+                // 400 MB at 2 MB/ms = 200 ms.
+                assert_eq!(delay, Micros::from_millis(200));
+            }
+            other => panic!("expected NVM hit, got {other:?}"),
+        }
+        // Still too big for DRAM: stays in NVM.
+        assert_eq!(c.nvm_used(), MemMb::new(400));
+    }
+
+    #[test]
+    fn misses_and_drops() {
+        let mut c = small_cache();
+        assert_eq!(c.lookup(key(9, Layer::Lang)), Lookup::Miss);
+        // An entry too big for both tiers is dropped silently.
+        c.insert(key(0, Layer::User), MemMb::new(4_000), Micros::from_secs(9));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn accounting_is_conserved_under_churn() {
+        let mut c = small_cache();
+        for i in 0..50u32 {
+            c.insert(
+                key(i % 7, Layer::User),
+                MemMb::new(60 + (i as u64 % 5) * 30),
+                Micros::from_millis(200 + (i as u64 % 9) * 300),
+            );
+            let _ = c.lookup(key((i + 3) % 7, Layer::User));
+            assert!(c.dram_used() <= MemMb::new(300), "DRAM overcommitted");
+            assert!(c.nvm_used() <= MemMb::new(600), "NVM overcommitted");
+            let sum: MemMb = c
+                .entries
+                .values()
+                .filter(|e| e.tier == Tier::Dram)
+                .map(|e| e.size)
+                .sum();
+            assert_eq!(sum, c.dram_used(), "DRAM accounting drifted");
+        }
+    }
+
+    #[test]
+    fn high_value_entries_displace_low_value_ones() {
+        let mut c = TieredCache::new(TieredConfig {
+            dram_capacity: MemMb::new(100),
+            nvm_capacity: MemMb::new(100),
+            nvm_mb_per_ms: 2.0,
+        });
+        c.insert(key(0, Layer::Lang), MemMb::new(100), Micros::from_millis(50));
+        c.insert(key(1, Layer::Lang), MemMb::new(100), Micros::from_secs(4));
+        // The valuable entry holds DRAM; the weak one was demoted and
+        // then dropped from the full NVM... or survives there.
+        assert_eq!(c.lookup(key(1, Layer::Lang)), Lookup::DramHit);
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place() {
+        let mut c = small_cache();
+        c.insert(key(0, Layer::User), MemMb::new(100), Micros::from_secs(1));
+        c.insert(key(0, Layer::User), MemMb::new(150), Micros::from_secs(2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.dram_used(), MemMb::new(150));
+    }
+}

@@ -1,0 +1,179 @@
+//! CV-targeted trace generation for the robustness study (§7.6).
+//!
+//! The paper samples seven 1-hour trace sets whose inter-arrival-time
+//! coefficient of variation (CV) ranges from 0.2 to 4.0, each containing
+//! 3,600 invocations. A gamma renewal process reproduces this knob
+//! exactly: with shape `k = 1/cv²` and scale `θ = mean_iat / k`, the
+//! inter-arrival times have the requested mean and CV (CV < 1 is more
+//! regular than Poisson; CV > 1 is bursty).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rainbowcake_core::time::{Instant, Micros};
+use rainbowcake_core::types::FunctionId;
+
+use crate::samplers::gamma;
+use crate::trace::{Arrival, Trace};
+
+/// The CV sweep used in Fig. 12.
+pub const PAPER_CVS: [f64; 7] = [0.2, 0.4, 0.6, 0.8, 1.0, 2.0, 4.0];
+
+/// Configuration for one CV-targeted trace set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CvTraceConfig {
+    /// Trace length (the paper uses 1 hour).
+    pub horizon: Micros,
+    /// Total invocations across all functions (the paper uses 3,600).
+    pub total_invocations: usize,
+    /// Target IAT coefficient of variation.
+    pub target_cv: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CvTraceConfig {
+    /// The paper's 1-hour / 3,600-invocation setting for a given CV.
+    pub fn paper(target_cv: f64, seed: u64) -> Self {
+        CvTraceConfig {
+            horizon: Micros::from_mins(60),
+            total_invocations: 3_600,
+            target_cv,
+            seed,
+        }
+    }
+}
+
+/// Generates a trace whose per-function inter-arrival times follow a
+/// gamma renewal process with the target CV.
+///
+/// Invocations are split evenly across `n_functions`; each function's
+/// renewal process is independently seeded and phase-staggered.
+///
+/// # Panics
+///
+/// Panics if `target_cv <= 0`, `n_functions == 0`, or the horizon is
+/// zero.
+pub fn cv_trace(n_functions: usize, config: &CvTraceConfig) -> Trace {
+    assert!(config.target_cv > 0.0, "target CV must be positive");
+    assert!(n_functions > 0, "need at least one function");
+    assert!(!config.horizon.is_zero(), "horizon must be positive");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let per_fn = (config.total_invocations / n_functions).max(1);
+    let horizon_s = config.horizon.as_secs_f64();
+    let mean_iat = horizon_s / (per_fn as f64 + 1.0);
+    let shape = 1.0 / (config.target_cv * config.target_cv);
+    let scale = mean_iat / shape;
+
+    let mut arrivals = Vec::with_capacity(per_fn * n_functions);
+    for i in 0..n_functions {
+        let function = FunctionId::new(i as u32);
+        // Stagger phases so functions do not align at t=0.
+        let mut t = rng.random_range(0.0..mean_iat);
+        for _ in 0..per_fn {
+            if t > horizon_s {
+                // Wrap around instead of dropping: keeps the invocation
+                // count exact without distorting the IAT distribution
+                // (the wrap introduces at most one irregular gap).
+                t -= horizon_s;
+            }
+            arrivals.push(Arrival {
+                time: Instant::from_micros((t * 1e6) as u64),
+                function,
+            });
+            t += gamma(&mut rng, shape, scale);
+        }
+    }
+    Trace::from_arrivals(config.horizon, arrivals)
+}
+
+/// Generates the paper's seven CV trace sets (Fig. 12a).
+pub fn paper_cv_sets(n_functions: usize, seed: u64) -> Vec<(f64, Trace)> {
+    PAPER_CVS
+        .iter()
+        .enumerate()
+        .map(|(i, &cv)| {
+            (
+                cv,
+                cv_trace(
+                    n_functions,
+                    &CvTraceConfig::paper(cv, seed.wrapping_add(i as u64 * 7919)),
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn volume_is_exact() {
+        let t = cv_trace(20, &CvTraceConfig::paper(1.0, 1));
+        assert_eq!(t.len(), 3_600);
+        for i in 0..20 {
+            assert_eq!(t.count_for(FunctionId::new(i)), 180);
+        }
+    }
+
+    #[test]
+    fn cv_targets_are_hit() {
+        for &target in &PAPER_CVS {
+            let t = cv_trace(20, &CvTraceConfig::paper(target, 99));
+            // Average the per-function IAT CVs (the quantity the gamma
+            // renewal controls).
+            let mut cvs = Vec::new();
+            for i in 0..20 {
+                let mut times = t.times_for(FunctionId::new(i));
+                times.sort_by(f64::total_cmp);
+                if let Some(c) = stats::iat_cv(&times) {
+                    cvs.push(c);
+                }
+            }
+            let measured = stats::mean(&cvs).unwrap();
+            let tolerance = 0.25 * target + 0.1;
+            assert!(
+                (measured - target).abs() < tolerance,
+                "target {target}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_cv_is_burstier_per_minute() {
+        let low = cv_trace(20, &CvTraceConfig::paper(0.2, 5));
+        let high = cv_trace(20, &CvTraceConfig::paper(4.0, 5));
+        let minute_cv = |t: &Trace| {
+            let xs: Vec<f64> = t.arrivals_per_minute().iter().map(|&c| c as f64).collect();
+            stats::cv(&xs).unwrap()
+        };
+        assert!(minute_cv(&high) > 2.0 * minute_cv(&low));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = cv_trace(5, &CvTraceConfig::paper(0.8, 7));
+        let b = cv_trace(5, &CvTraceConfig::paper(0.8, 7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_sets_cover_the_sweep() {
+        let sets = paper_cv_sets(20, 3);
+        assert_eq!(sets.len(), 7);
+        assert_eq!(sets[0].0, 0.2);
+        assert_eq!(sets[6].0, 4.0);
+        for (_, t) in &sets {
+            assert_eq!(t.len(), 3_600);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target CV must be positive")]
+    fn rejects_nonpositive_cv() {
+        let _ = cv_trace(5, &CvTraceConfig::paper(0.0, 1));
+    }
+}

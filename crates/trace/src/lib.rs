@@ -1,0 +1,36 @@
+//! # rainbowcake-trace
+//!
+//! Invocation-trace synthesis and replay for serverless cold-start
+//! experiments, substituting for the Azure Functions production dataset
+//! the paper samples (see DESIGN.md):
+//!
+//! * [`azure`] — per-minute series with the dataset's structure (skewed
+//!   popularity, diurnal swells, bursts, cron-like spikes, a sparse
+//!   tail) and the 8-hour headline trace;
+//! * [`cv`] — 1-hour gamma-renewal traces hitting an exact
+//!   inter-arrival-time CV (the Fig. 12 robustness sweep);
+//! * [`replay`] — the paper's minute-bucket replay rule;
+//! * [`samplers`] — seeded distribution samplers (exponential, normal,
+//!   gamma, Poisson, lognormal);
+//! * [`stats`] — mean/variance/CV helpers;
+//! * [`trace`] — the sorted [`Trace`] container.
+//!
+//! ```
+//! use rainbowcake_trace::azure::{azure_like_trace, AzureConfig};
+//!
+//! let trace = azure_like_trace(20, &AzureConfig { hours: 1, ..AzureConfig::default() });
+//! assert!(trace.iat_cv().is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod azure;
+pub mod cv;
+pub mod replay;
+pub mod samplers;
+pub mod stats;
+pub mod trace;
+
+pub use replay::MinuteSeries;
+pub use trace::{Arrival, Trace};

@@ -1,0 +1,131 @@
+//! The paper's trace replay rule (§7.2): the Azure Functions dataset
+//! records invocations in per-minute buckets. When replaying, a bucket
+//! with a single invocation fires at the start of the minute; a bucket
+//! with `k > 1` invocations is spread evenly across the minute (the same
+//! methodology as FaaSCache).
+
+use rainbowcake_core::time::{Instant, Micros};
+use rainbowcake_core::types::FunctionId;
+
+use crate::trace::{Arrival, Trace};
+
+/// Per-minute invocation counts for one function, as in the Azure
+/// Functions dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinuteSeries {
+    /// The function invoked.
+    pub function: FunctionId,
+    /// Invocation count per minute bucket.
+    pub counts: Vec<u32>,
+}
+
+impl MinuteSeries {
+    /// Total invocations across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+}
+
+/// Expands one minute bucket into concrete arrival instants per the
+/// replay rule.
+pub fn expand_bucket(minute: usize, count: u32, function: FunctionId) -> Vec<Arrival> {
+    let start = Instant::from_micros(minute as u64 * 60_000_000);
+    match count {
+        0 => Vec::new(),
+        1 => vec![Arrival {
+            time: start,
+            function,
+        }],
+        k => {
+            let step = Micros::from_micros(60_000_000 / k as u64);
+            (0..k)
+                .map(|i| Arrival {
+                    time: start + Micros::from_micros(step.as_micros() * i as u64),
+                    function,
+                })
+                .collect()
+        }
+    }
+}
+
+/// Replays a set of per-minute series into a merged, sorted [`Trace`].
+pub fn replay(series: &[MinuteSeries]) -> Trace {
+    let minutes = series.iter().map(|s| s.counts.len()).max().unwrap_or(0);
+    let horizon = Micros::from_mins(minutes as u64);
+    let mut arrivals = Vec::new();
+    for s in series {
+        for (minute, &count) in s.counts.iter().enumerate() {
+            arrivals.extend(expand_bucket(minute, count, s.function));
+        }
+    }
+    Trace::from_arrivals(horizon, arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(i: u32) -> FunctionId {
+        FunctionId::new(i)
+    }
+
+    #[test]
+    fn single_invocation_fires_at_minute_start() {
+        let a = expand_bucket(3, 1, fid(0));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].time, Instant::from_micros(180_000_000));
+    }
+
+    #[test]
+    fn multiple_invocations_spread_evenly() {
+        let a = expand_bucket(0, 4, fid(0));
+        assert_eq!(a.len(), 4);
+        let times: Vec<u64> = a.iter().map(|x| x.time.as_micros()).collect();
+        assert_eq!(times, vec![0, 15_000_000, 30_000_000, 45_000_000]);
+    }
+
+    #[test]
+    fn empty_bucket_produces_nothing() {
+        assert!(expand_bucket(5, 0, fid(0)).is_empty());
+    }
+
+    #[test]
+    fn all_expanded_arrivals_stay_inside_their_minute() {
+        for k in 1..50u32 {
+            let a = expand_bucket(7, k, fid(0));
+            assert_eq!(a.len(), k as usize);
+            for x in &a {
+                assert!(x.time >= Instant::from_micros(7 * 60_000_000));
+                assert!(x.time < Instant::from_micros(8 * 60_000_000));
+            }
+        }
+    }
+
+    #[test]
+    fn replay_merges_functions() {
+        let series = vec![
+            MinuteSeries {
+                function: fid(0),
+                counts: vec![1, 0, 2],
+            },
+            MinuteSeries {
+                function: fid(1),
+                counts: vec![0, 3],
+            },
+        ];
+        let t = replay(&series);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.count_for(fid(0)), 3);
+        assert_eq!(t.count_for(fid(1)), 3);
+        assert_eq!(t.horizon(), Micros::from_mins(3));
+    }
+
+    #[test]
+    fn series_total() {
+        let s = MinuteSeries {
+            function: fid(0),
+            counts: vec![1, 2, 3],
+        };
+        assert_eq!(s.total(), 6);
+    }
+}

@@ -1,0 +1,232 @@
+//! Seeded distribution samplers used by the trace generators and the
+//! simulator's execution-time jitter.
+//!
+//! Only `rand`'s uniform source is used; the exponential, normal, gamma,
+//! Poisson, and lognormal transforms are implemented here so the
+//! workspace needs no further dependencies and the algorithms are
+//! testable in isolation.
+
+use rand::Rng;
+
+/// Draws a uniform sample in the open interval (0, 1), never exactly 0
+/// (safe as a `ln` argument).
+fn uniform_open<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random();
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+/// Samples an exponential variate with the given rate (per unit time).
+///
+/// # Panics
+///
+/// Panics in debug builds if `rate` is not positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0, "exponential rate must be positive");
+    -uniform_open(rng).ln() / rate
+}
+
+/// Samples a standard normal variate via the Marsaglia polar method.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random_range(-1.0..1.0);
+        let v: f64 = rng.random_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Samples a Gamma(shape, scale) variate via Marsaglia–Tsang, with the
+/// usual boosting trick for `shape < 1`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `shape` or `scale` is not positive.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    debug_assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let boost = uniform_open(rng).powf(1.0 / shape);
+        return gamma(rng, shape + 1.0, scale) * boost;
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let t = 1.0 + c * x;
+        if t <= 0.0 {
+            continue;
+        }
+        let v = t * t * t;
+        let u = uniform_open(rng);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v * scale;
+        }
+    }
+}
+
+/// Samples a Poisson count with the given mean. Uses Knuth's product
+/// method for small means and a clamped normal approximation above 30.
+///
+/// # Panics
+///
+/// Panics in debug builds if `mean` is negative or non-finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    debug_assert!(mean.is_finite() && mean >= 0.0, "poisson mean must be >= 0");
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= uniform_open(rng);
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = mean + mean.sqrt() * standard_normal(rng);
+        x.round().max(0.0) as u64
+    }
+}
+
+/// Samples a lognormal variate with the given (linear-space) mean and
+/// coefficient of variation. A `cv` of 0 returns the mean exactly.
+///
+/// # Panics
+///
+/// Panics in debug builds if `mean` is not positive or `cv` is negative.
+pub fn lognormal_mean_cv<R: Rng + ?Sized>(rng: &mut R, mean: f64, cv: f64) -> f64 {
+    debug_assert!(mean > 0.0, "lognormal mean must be positive");
+    debug_assert!(cv >= 0.0, "lognormal cv must be non-negative");
+    if cv == 0.0 {
+        return mean;
+    }
+    let sigma2 = (1.0 + cv * cv).ln();
+    let mu = mean.ln() - sigma2 / 2.0;
+    (mu + sigma2.sqrt() * standard_normal(rng)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: usize = 40_000;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..N).map(|_| exponential(&mut rng, 0.5)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..N).map(|_| standard_normal(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (shape, scale) = (4.0, 1.5);
+        let samples: Vec<f64> = (0..N).map(|_| gamma(&mut rng, shape, scale)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - shape * scale).abs() < 0.1, "mean {mean}");
+        assert!((var - shape * scale * scale).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (shape, scale) = (0.25, 2.0);
+        let samples: Vec<f64> = (0..N).map(|_| gamma(&mut rng, shape, scale)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 0.5).abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn gamma_is_always_positive() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..2_000 {
+            assert!(gamma(&mut rng, 0.1, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mean_param = 3.2;
+        let samples: Vec<f64> = (0..N).map(|_| poisson(&mut rng, mean_param) as f64).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - mean_param).abs() < 0.05, "mean {mean}");
+        assert!((var - mean_param).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approx() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mean_param = 120.0;
+        let samples: Vec<f64> = (0..N).map(|_| poisson(&mut rng, mean_param) as f64).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - mean_param).abs() < 0.5, "mean {mean}");
+        assert!((var - mean_param).abs() < 6.0, "var {var}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (target_mean, cv) = (5.0, 0.4);
+        let samples: Vec<f64> =
+            (0..N).map(|_| lognormal_mean_cv(&mut rng, target_mean, cv)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - target_mean).abs() < 0.1, "mean {mean}");
+        let target_var = (target_mean * cv).powi(2);
+        assert!((var - target_var).abs() < 0.4, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_zero_cv_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(10);
+        assert_eq!(lognormal_mean_cv(&mut rng, 7.0, 0.0), 7.0);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| gamma(&mut rng, 2.0, 1.0)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+}

@@ -1,0 +1,88 @@
+//! Small statistics helpers: means, variances, and the inter-arrival
+//! coefficient of variation (CV) that the robustness experiments sweep
+//! (Fig. 12).
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Sample variance (n−1 denominator); `None` with fewer than two points.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Coefficient of variation (σ/μ); `None` with fewer than two points or
+/// a zero mean.
+pub fn cv(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    if m == 0.0 {
+        return None;
+    }
+    std_dev(xs).map(|s| s / m)
+}
+
+/// Consecutive differences of a sorted sequence (inter-arrival times).
+pub fn diffs(sorted: &[f64]) -> Vec<f64> {
+    sorted.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Inter-arrival-time CV of a sorted arrival sequence.
+pub fn iat_cv(sorted_arrivals: &[f64]) -> Option<f64> {
+    cv(&diffs(sorted_arrivals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[1.0]), None);
+        assert_eq!(cv(&[1.0]), None);
+        assert_eq!(iat_cv(&[0.0, 1.0]), None); // one IAT only
+    }
+
+    #[test]
+    fn basic_moments() {
+        let xs = [2.0, 4.0, 6.0];
+        assert_eq!(mean(&xs), Some(4.0));
+        assert_eq!(variance(&xs), Some(4.0));
+        assert_eq!(std_dev(&xs), Some(2.0));
+        assert_eq!(cv(&xs), Some(0.5));
+    }
+
+    #[test]
+    fn perfectly_regular_arrivals_have_zero_cv() {
+        let arrivals: Vec<f64> = (0..100).map(|i| i as f64 * 5.0).collect();
+        let c = iat_cv(&arrivals).unwrap();
+        assert!(c.abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_arrivals_have_high_cv() {
+        // 50 arrivals clumped at t=0..0.49, then one at t=1000.
+        let mut arrivals: Vec<f64> = (0..50).map(|i| i as f64 * 0.01).collect();
+        arrivals.push(1000.0);
+        assert!(iat_cv(&arrivals).unwrap() > 3.0);
+    }
+
+    #[test]
+    fn zero_mean_cv_is_none() {
+        assert_eq!(cv(&[0.0, 0.0, 0.0]), None);
+    }
+}

@@ -1,0 +1,229 @@
+//! The 20-function evaluation workload (Table 1 of the paper),
+//! calibrated against the stage latency and memory breakdowns of
+//! Fig. 2 and Fig. 14.
+//!
+//! The paper draws these functions from three open benchmark suites
+//! (SeBS, FunctionBench, and the suite of Shahrad et al.). We cannot run
+//! the real binaries here, so each function is represented by its cost
+//! profile: per-stage startup latency, per-layer memory footprint, and
+//! an execution-time model. The numbers are read off the published
+//! figures (ranges: Java cold starts of several seconds dominated by JVM
+//! init, Python mid-range with heavyweight ML imports for IR/SA, Node.js
+//! lightest; memory up to ~420 MB for Image Recognition).
+
+use rainbowcake_core::mem::MemMb;
+use rainbowcake_core::profile::{
+    Catalog, ExecModel, FunctionProfile, LayerFootprints, StageLatencies, TransitionOverheads,
+};
+use rainbowcake_core::time::Micros;
+use rainbowcake_core::types::{Domain, FunctionId, Language};
+
+/// Raw calibration row for one function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FunctionSpec {
+    /// Short name as used throughout the paper (e.g. `"IR-Py"`).
+    pub name: &'static str,
+    /// Language runtime.
+    pub language: Language,
+    /// Application domain (Table 1).
+    pub domain: Domain,
+    /// Stage #3 latency: user package load (ms).
+    pub user_ms: u64,
+    /// Full user-layer idle footprint (MB).
+    pub user_mb: u64,
+    /// Mean execution time (ms).
+    pub exec_ms: u64,
+    /// Execution-time coefficient of variation.
+    pub exec_cv: f64,
+}
+
+/// Environment-setup (Bare) latency shared by all functions, ms.
+pub const BARE_MS: u64 = 120;
+/// Idle Bare container footprint, MB.
+pub const BARE_MB: u64 = 8;
+
+/// Language-runtime install latency (stage #2), ms.
+pub const fn lang_install_ms(language: Language) -> u64 {
+    match language {
+        Language::NodeJs => 350,
+        Language::Python => 750,
+        Language::Java => 2_600,
+    }
+}
+
+/// Idle Lang container footprint, MB.
+pub const fn lang_footprint_mb(language: Language) -> u64 {
+    match language {
+        Language::NodeJs => 48,
+        Language::Python => 75,
+        Language::Java => 140,
+    }
+}
+
+/// Inter-transition overheads (Fig. 13: all well under ~30 ms).
+pub const TRANSITIONS: TransitionOverheads = TransitionOverheads {
+    b_l: Micros::from_millis(5),
+    l_u: Micros::from_millis(6),
+    u_run: Micros::from_millis(8),
+};
+
+/// The calibration table for the paper's 20 functions, in the order of
+/// Fig. 2 (Node.js, then Python, then Java).
+pub const SPECS: [FunctionSpec; 20] = [
+    // Node.js
+    FunctionSpec { name: "AC-Js", language: Language::NodeJs, domain: Domain::WebApp, user_ms: 180, user_mb: 70, exec_ms: 120, exec_cv: 0.20 },
+    FunctionSpec { name: "DH-Js", language: Language::NodeJs, domain: Domain::WebApp, user_ms: 210, user_mb: 78, exec_ms: 150, exec_cv: 0.20 },
+    FunctionSpec { name: "UL-Js", language: Language::NodeJs, domain: Domain::WebApp, user_ms: 260, user_mb: 85, exec_ms: 300, exec_cv: 0.25 },
+    FunctionSpec { name: "IS-Js", language: Language::NodeJs, domain: Domain::Multimedia, user_ms: 340, user_mb: 120, exec_ms: 450, exec_cv: 0.25 },
+    FunctionSpec { name: "TN-Js", language: Language::NodeJs, domain: Domain::Multimedia, user_ms: 380, user_mb: 130, exec_ms: 500, exec_cv: 0.25 },
+    FunctionSpec { name: "OI-Js", language: Language::NodeJs, domain: Domain::Multimedia, user_ms: 900, user_mb: 210, exec_ms: 1_800, exec_cv: 0.30 },
+    // Python
+    FunctionSpec { name: "DV-Py", language: Language::Python, domain: Domain::ScientificComputing, user_ms: 800, user_mb: 180, exec_ms: 2_500, exec_cv: 0.25 },
+    FunctionSpec { name: "GB-Py", language: Language::Python, domain: Domain::ScientificComputing, user_ms: 450, user_mb: 140, exec_ms: 900, exec_cv: 0.20 },
+    FunctionSpec { name: "GM-Py", language: Language::Python, domain: Domain::ScientificComputing, user_ms: 460, user_mb: 145, exec_ms: 950, exec_cv: 0.20 },
+    FunctionSpec { name: "GP-Py", language: Language::Python, domain: Domain::ScientificComputing, user_ms: 480, user_mb: 150, exec_ms: 1_100, exec_cv: 0.20 },
+    FunctionSpec { name: "IR-Py", language: Language::Python, domain: Domain::MachineLearning, user_ms: 3_200, user_mb: 420, exec_ms: 2_200, exec_cv: 0.25 },
+    FunctionSpec { name: "SA-Py", language: Language::Python, domain: Domain::MachineLearning, user_ms: 1_500, user_mb: 300, exec_ms: 1_200, exec_cv: 0.25 },
+    FunctionSpec { name: "FC-Py", language: Language::Python, domain: Domain::WebApp, user_ms: 380, user_mb: 130, exec_ms: 1_500, exec_cv: 0.30 },
+    FunctionSpec { name: "MD-Py", language: Language::Python, domain: Domain::WebApp, user_ms: 300, user_mb: 110, exec_ms: 200, exec_cv: 0.20 },
+    FunctionSpec { name: "VP-Py", language: Language::Python, domain: Domain::Multimedia, user_ms: 1_200, user_mb: 260, exec_ms: 6_000, exec_cv: 0.35 },
+    // Java
+    FunctionSpec { name: "DT-Java", language: Language::Java, domain: Domain::DataAnalysis, user_ms: 1_400, user_mb: 310, exec_ms: 1_500, exec_cv: 0.20 },
+    FunctionSpec { name: "DL-Java", language: Language::Java, domain: Domain::DataAnalysis, user_ms: 1_300, user_mb: 300, exec_ms: 1_800, exec_cv: 0.20 },
+    FunctionSpec { name: "DQ-Java", language: Language::Java, domain: Domain::DataAnalysis, user_ms: 1_500, user_mb: 320, exec_ms: 1_300, exec_cv: 0.20 },
+    FunctionSpec { name: "DS-Java", language: Language::Java, domain: Domain::DataAnalysis, user_ms: 1_350, user_mb: 305, exec_ms: 1_600, exec_cv: 0.20 },
+    FunctionSpec { name: "DG-Java", language: Language::Java, domain: Domain::DataAnalysis, user_ms: 1_450, user_mb: 315, exec_ms: 1_700, exec_cv: 0.20 },
+];
+
+impl FunctionSpec {
+    /// Materializes the spec into a full [`FunctionProfile`] with the
+    /// given id.
+    pub fn to_profile(&self, id: FunctionId) -> FunctionProfile {
+        FunctionProfile {
+            id,
+            name: self.name.to_string(),
+            language: self.language,
+            domain: self.domain,
+            stages: StageLatencies {
+                bare: Micros::from_millis(BARE_MS),
+                lang: Micros::from_millis(lang_install_ms(self.language)),
+                user: Micros::from_millis(self.user_ms),
+            },
+            transitions: TRANSITIONS,
+            footprints: LayerFootprints {
+                bare: MemMb::new(BARE_MB),
+                lang: MemMb::new(lang_footprint_mb(self.language)),
+                user: MemMb::new(self.user_mb),
+            },
+            exec: ExecModel {
+                mean: Micros::from_millis(self.exec_ms),
+                cv: self.exec_cv,
+            },
+        }
+    }
+}
+
+/// Builds the catalog of the paper's 20 evaluation functions.
+///
+/// ```
+/// let catalog = rainbowcake_workloads::paper_catalog();
+/// assert_eq!(catalog.len(), 20);
+/// assert!(catalog.by_name("IR-Py").is_some());
+/// ```
+pub fn paper_catalog() -> Catalog {
+    let mut catalog = Catalog::new();
+    for spec in SPECS {
+        catalog.push(spec.to_profile(FunctionId::new(0)));
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbowcake_core::types::Layer;
+
+    #[test]
+    fn twenty_functions_by_language() {
+        let c = paper_catalog();
+        assert_eq!(c.len(), 20);
+        assert_eq!(c.language_group(Language::NodeJs).len(), 6);
+        assert_eq!(c.language_group(Language::Python).len(), 9);
+        assert_eq!(c.language_group(Language::Java).len(), 5);
+    }
+
+    #[test]
+    fn names_are_unique_and_suffixed() {
+        let c = paper_catalog();
+        let mut names: Vec<_> = c.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+        for p in &c {
+            assert!(
+                p.name.ends_with(p.language.suffix()),
+                "{} should end with {}",
+                p.name,
+                p.language.suffix()
+            );
+        }
+    }
+
+    #[test]
+    fn java_cold_starts_dominate() {
+        // Fig. 2a: Java functions have the longest cold starts, Node.js
+        // the shortest, driven by the runtime init stage.
+        let c = paper_catalog();
+        let avg = |lang: Language| {
+            let ids = c.language_group(lang);
+            let total: f64 = ids
+                .iter()
+                .map(|&f| c.profile(f).cold_startup().as_secs_f64())
+                .sum();
+            total / ids.len() as f64
+        };
+        assert!(avg(Language::Java) > avg(Language::Python));
+        assert!(avg(Language::Python) > avg(Language::NodeJs));
+    }
+
+    #[test]
+    fn memory_monotone_across_layers() {
+        let c = paper_catalog();
+        for p in &c {
+            assert!(p.memory_at(Layer::Bare) < p.memory_at(Layer::Lang), "{}", p.name);
+            assert!(p.memory_at(Layer::Lang) < p.memory_at(Layer::User), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn ir_py_is_heaviest() {
+        // Image Recognition carries the ML stack: heaviest user layer.
+        let c = paper_catalog();
+        let heaviest = c
+            .iter()
+            .max_by_key(|p| p.memory_at(Layer::User))
+            .unwrap();
+        assert_eq!(heaviest.name, "IR-Py");
+    }
+
+    #[test]
+    fn transition_overheads_are_negligible() {
+        // Fig. 14: total inter-transition overhead is < 3% of startup.
+        let c = paper_catalog();
+        for p in &c {
+            let ratio = p.transitions.total().as_secs_f64() / p.cold_startup().as_secs_f64();
+            assert!(ratio < 0.03, "{}: {}", p.name, ratio);
+        }
+    }
+
+    #[test]
+    fn domains_match_table_1() {
+        let c = paper_catalog();
+        let count = |d: Domain| c.iter().filter(|p| p.domain == d).count();
+        assert_eq!(count(Domain::WebApp), 5);
+        assert_eq!(count(Domain::Multimedia), 4);
+        assert_eq!(count(Domain::ScientificComputing), 4);
+        assert_eq!(count(Domain::MachineLearning), 2);
+        assert_eq!(count(Domain::DataAnalysis), 5);
+    }
+}

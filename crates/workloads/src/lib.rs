@@ -1,0 +1,24 @@
+//! # rainbowcake-workloads
+//!
+//! The serverless workloads used by the RainbowCake evaluation: a
+//! calibrated catalog of the paper's 20 functions (Table 1, Fig. 2,
+//! Fig. 14) and a deterministic generator of larger synthetic catalogs
+//! for scalability experiments.
+//!
+//! ```
+//! use rainbowcake_workloads::paper_catalog;
+//! use rainbowcake_core::types::Language;
+//!
+//! let catalog = paper_catalog();
+//! assert_eq!(catalog.len(), 20);
+//! assert_eq!(catalog.language_group(Language::Java).len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod synthetic;
+
+pub use catalog::{paper_catalog, FunctionSpec, SPECS, TRANSITIONS};
+pub use synthetic::synthetic_catalog;

@@ -1,0 +1,87 @@
+//! Synthetic scaled-up catalogs for stress and scalability experiments.
+//!
+//! The paper's history recorder is sized for "one million functions in
+//! 250 MB" (§6.2); the concurrency experiment (Fig. 13) drives up to
+//! 1,000 concurrent invocations. These helpers generate catalogs of any
+//! size by cycling the 20 calibrated archetypes and applying a small
+//! deterministic perturbation so functions are not exact clones.
+
+use rainbowcake_core::mem::MemMb;
+use rainbowcake_core::profile::{Catalog, FunctionProfile};
+use rainbowcake_core::time::Micros;
+use rainbowcake_core::types::FunctionId;
+
+use crate::catalog::SPECS;
+
+/// Deterministically perturbs a duration by ±12.5% based on `salt`.
+fn jitter_dur(base: Micros, salt: u64) -> Micros {
+    // A tiny splitmix-style hash; keeps the crate free of rand.
+    let mut z = salt.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let frac = (z % 2001) as f64 / 2000.0; // [0, 1]
+    base.mul_f64(0.875 + 0.25 * frac)
+}
+
+/// Deterministically perturbs a memory size by ±12.5% based on `salt`.
+fn jitter_mem(base: MemMb, salt: u64) -> MemMb {
+    let scaled = jitter_dur(Micros::from_micros(base.as_mb().max(1)), salt);
+    MemMb::new(scaled.as_micros().max(1))
+}
+
+/// Builds a catalog of `n` functions by cycling the 20 paper archetypes
+/// with deterministic jitter on latencies, memory, and execution time.
+///
+/// ```
+/// let catalog = rainbowcake_workloads::synthetic_catalog(100);
+/// assert_eq!(catalog.len(), 100);
+/// ```
+pub fn synthetic_catalog(n: usize) -> Catalog {
+    let mut catalog = Catalog::new();
+    for i in 0..n {
+        let spec = &SPECS[i % SPECS.len()];
+        let mut p: FunctionProfile = spec.to_profile(FunctionId::new(0));
+        let salt = i as u64;
+        p.name = format!("{}#{}", spec.name, i / SPECS.len());
+        p.stages.user = jitter_dur(p.stages.user, salt.wrapping_mul(3));
+        p.footprints.user = jitter_mem(p.footprints.user, salt.wrapping_mul(5))
+            .max(p.footprints.lang + MemMb::new(1));
+        p.exec.mean = jitter_dur(p.exec.mean, salt.wrapping_mul(7));
+        catalog.push(p);
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbowcake_core::types::Layer;
+
+    #[test]
+    fn requested_size_is_produced() {
+        for n in [0usize, 1, 20, 37, 200] {
+            assert_eq!(synthetic_catalog(n).len(), n);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synthetic_catalog(50);
+        let b = synthetic_catalog(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clones_are_perturbed_but_plausible() {
+        let c = synthetic_catalog(40);
+        // Function 0 and function 20 share the AC-Js archetype but differ.
+        let p0 = c.profile(FunctionId::new(0));
+        let p20 = c.profile(FunctionId::new(20));
+        assert_ne!(p0.stages.user, p20.stages.user);
+        for p in &c {
+            assert!(p.memory_at(Layer::Lang) < p.memory_at(Layer::User), "{}", p.name);
+            assert!(p.stages.user > Micros::ZERO);
+        }
+    }
+}

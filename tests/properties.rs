@@ -1,0 +1,361 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: time arithmetic, cost model, history recorder, lifecycle
+//! legality, trace construction/replay, waste conservation, percentile
+//! bounds, and whole mini-simulations.
+
+use proptest::prelude::*;
+
+use rainbowcake::core::cost::CostModel;
+use rainbowcake::core::history::{iat_quantile, HistoryRecorder, ShareScope};
+use rainbowcake::core::lifecycle::{LifecycleEvent, LifecycleState};
+use rainbowcake::core::mem::MemMb;
+use rainbowcake::core::profile::{Catalog, FunctionProfile};
+use rainbowcake::core::time::{Instant, Micros};
+use rainbowcake::core::types::{FunctionId, Language, Layer};
+use rainbowcake::metrics::percentile::percentile;
+use rainbowcake::metrics::{IdleOutcome, WasteTracker};
+use rainbowcake::prelude::{
+    run, Arrival, OpenWhiskDefault, RainbowCake, SimConfig, Trace,
+};
+use rainbowcake::trace::replay::expand_bucket;
+use rainbowcake::trace::samplers;
+use rainbowcake::workloads::paper_catalog;
+
+fn small_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    for lang in [Language::NodeJs, Language::Python, Language::Java] {
+        c.push(FunctionProfile::synthetic(FunctionId::new(0), lang));
+    }
+    c
+}
+
+proptest! {
+    // ---------------- time ----------------
+
+    #[test]
+    fn micros_add_is_commutative_and_monotone(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let (x, y) = (Micros::from_micros(a), Micros::from_micros(b));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert!(x + y >= x);
+        prop_assert_eq!((x + y) - y, x);
+    }
+
+    #[test]
+    fn micros_sub_saturates(a in any::<u64>(), b in any::<u64>()) {
+        let d = Micros::from_micros(a) - Micros::from_micros(b);
+        prop_assert_eq!(d.as_micros(), a.saturating_sub(b));
+    }
+
+    #[test]
+    fn instant_duration_roundtrip(a in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 4) {
+        let t = Instant::from_micros(a);
+        let dur = Micros::from_micros(d);
+        prop_assert_eq!((t + dur).duration_since(t), dur);
+    }
+
+    #[test]
+    fn minute_bucket_is_floor_division(us in any::<u64>()) {
+        prop_assert_eq!(
+            Instant::from_micros(us).minute_bucket(),
+            (us / 60_000_000) as usize
+        );
+    }
+
+    // ---------------- cost model ----------------
+
+    #[test]
+    fn beta_balances_costs_exactly(
+        alpha in 0.01f64..0.99,
+        t_ms in 1u64..100_000,
+        mem in 1u64..100_000,
+    ) {
+        let model = CostModel::new(alpha).unwrap();
+        let t = Micros::from_millis(t_ms);
+        let m = MemMb::new(mem);
+        let beta = model.beta(t, m);
+        // alpha * t == (1 - alpha) * m * beta, within microsecond rounding.
+        let lhs = alpha * t.as_secs_f64();
+        let rhs = (1.0 - alpha) * m.as_gb_f64() * beta.as_secs_f64();
+        prop_assert!((lhs - rhs).abs() < lhs * 1e-3 + 1e-6, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn unified_cost_is_monotone_in_both_components(
+        alpha in 0.01f64..0.99,
+        s1 in 0u64..1_000_000, s2 in 0u64..1_000_000,
+        w in 0.0f64..1e6,
+    ) {
+        let model = CostModel::new(alpha).unwrap();
+        let (lo, hi) = (s1.min(s2), s1.max(s2));
+        let waste = rainbowcake::core::mem::GbSeconds::new(w);
+        prop_assert!(
+            model.unified(Micros::from_millis(lo), waste)
+                <= model.unified(Micros::from_millis(hi), waste)
+        );
+    }
+
+    // ---------------- history recorder ----------------
+
+    #[test]
+    fn iat_quantile_is_monotone_in_p(lambda in 0.001f64..1000.0, p1 in 0.0f64..0.99, p2 in 0.0f64..0.99) {
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        prop_assert!(iat_quantile(lambda, lo) <= iat_quantile(lambda, hi));
+    }
+
+    #[test]
+    fn compound_rate_dominates_components(
+        arrivals in prop::collection::vec((0u64..28_800, 0u32..3), 2..60),
+    ) {
+        let catalog = small_catalog();
+        let mut rec = HistoryRecorder::new(&catalog, 6).unwrap();
+        let mut latest = 0u64;
+        let mut sorted = arrivals;
+        sorted.sort();
+        for (secs, f) in sorted {
+            rec.record_arrival(FunctionId::new(f), Instant::from_micros(secs * 1_000_000));
+            latest = latest.max(secs);
+        }
+        let now = Instant::from_micros((latest + 1) * 1_000_000);
+        let global = rec.rate(ShareScope::Global, now);
+        for f in 0..3u32 {
+            let fr = rec.rate(ShareScope::Function(FunctionId::new(f)), now);
+            prop_assert!(fr >= 0.0);
+            prop_assert!(global >= fr - 1e-12);
+        }
+        let lang_sum: f64 = [Language::NodeJs, Language::Python, Language::Java]
+            .iter()
+            .map(|&l| rec.rate(ShareScope::Language(l), now))
+            .sum();
+        prop_assert!((lang_sum - global).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_never_increase_while_silent(
+        gaps in prop::collection::vec(1u64..600, 2..10),
+        silence in 1u64..7200,
+    ) {
+        let catalog = small_catalog();
+        let mut rec = HistoryRecorder::new(&catalog, 6).unwrap();
+        let f = FunctionId::new(0);
+        let mut t = 0u64;
+        for g in &gaps {
+            t += g;
+            rec.record_arrival(f, Instant::from_micros(t * 1_000_000));
+        }
+        let now = Instant::from_micros(t * 1_000_000);
+        let later = Instant::from_micros((t + silence) * 1_000_000);
+        prop_assert!(rec.function_rate(f, later) <= rec.function_rate(f, now) + 1e-12);
+    }
+
+    // ---------------- lifecycle ----------------
+
+    #[test]
+    fn lifecycle_never_reaches_inconsistent_states(
+        events in prop::collection::vec(0u8..6, 0..30),
+    ) {
+        let f = FunctionId::new(0);
+        let g = FunctionId::new(1);
+        let mut state = LifecycleState::new_initializing(Layer::User, f);
+        for e in events {
+            let event = match e {
+                0 => LifecycleEvent::InitComplete {
+                    language: Some(Language::Python),
+                    owner: Some(f),
+                },
+                1 => LifecycleEvent::BeginExecution { function: f },
+                2 => LifecycleEvent::Downgrade,
+                3 => LifecycleEvent::Terminate,
+                4 => LifecycleEvent::BeginUpgrade {
+                    for_function: g,
+                    target: Layer::User,
+                },
+                _ => LifecycleEvent::Adopt { function: g },
+            };
+            if let Ok(next) = state.transition(event) {
+                state = next;
+            }
+            // Invariants that must hold in every reachable state:
+            match state {
+                LifecycleState::Idle { layer, language, owner } => {
+                    if layer == Layer::Bare {
+                        prop_assert!(language.is_none() && owner.is_none());
+                    }
+                    if layer == Layer::Lang {
+                        prop_assert!(language.is_some() && owner.is_none());
+                    }
+                    if layer == Layer::User {
+                        prop_assert!(language.is_some() && owner.is_some());
+                    }
+                }
+                LifecycleState::Terminated => {
+                    prop_assert!(state.layer().is_none());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ---------------- traces ----------------
+
+    #[test]
+    fn traces_are_sorted_and_clipped(
+        raw in prop::collection::vec((0u64..10_000_000_000, 0u32..20), 0..300),
+        horizon_s in 1u64..7200,
+    ) {
+        let horizon = Micros::from_secs(horizon_s);
+        let arrivals: Vec<Arrival> = raw
+            .into_iter()
+            .map(|(us, f)| Arrival {
+                time: Instant::from_micros(us),
+                function: FunctionId::new(f),
+            })
+            .collect();
+        let trace = Trace::from_arrivals(horizon, arrivals);
+        let mut last = Instant::ZERO;
+        for a in &trace {
+            prop_assert!(a.time >= last);
+            prop_assert!(a.time.as_micros() <= horizon.as_micros());
+            last = a.time;
+        }
+    }
+
+    #[test]
+    fn bucket_expansion_is_exact(minute in 0usize..480, count in 0u32..500) {
+        let f = FunctionId::new(0);
+        let out = expand_bucket(minute, count, f);
+        prop_assert_eq!(out.len(), count as usize);
+        for a in &out {
+            prop_assert_eq!(a.time.minute_bucket(), minute);
+        }
+        // Evenly spread: strictly increasing for count > 1.
+        for w in out.windows(2) {
+            prop_assert!(w[0].time < w[1].time);
+        }
+    }
+
+    // ---------------- samplers ----------------
+
+    #[test]
+    fn gamma_samples_are_positive_and_finite(
+        seed in any::<u64>(),
+        shape in 0.05f64..50.0,
+        scale in 0.01f64..100.0,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let x = samplers::gamma(&mut rng, shape, scale);
+            prop_assert!(x.is_finite() && x > 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive(seed in any::<u64>(), mean in 0.01f64..1e4, cv in 0.0f64..3.0) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = samplers::lognormal_mean_cv(&mut rng, mean, cv);
+        prop_assert!(x.is_finite() && x > 0.0);
+    }
+
+    // ---------------- percentiles ----------------
+
+    #[test]
+    fn percentile_is_bounded_and_monotone(
+        mut xs in prop::collection::vec(-1e9f64..1e9, 1..200),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let lo_p = p1.min(p2);
+        let hi_p = p1.max(p2);
+        let lo = percentile(&xs, lo_p).unwrap();
+        let hi = percentile(&xs, hi_p).unwrap();
+        prop_assert!(lo <= hi);
+        xs.sort_by(f64::total_cmp);
+        prop_assert!(lo >= xs[0] && hi <= xs[xs.len() - 1]);
+    }
+
+    // ---------------- waste tracker ----------------
+
+    #[test]
+    fn waste_buckets_conserve_totals(
+        intervals in prop::collection::vec(
+            (0u64..14_400, 0u64..3_600, 1u64..4_096, any::<bool>()),
+            0..60
+        ),
+    ) {
+        let mut w = WasteTracker::new();
+        for (start_s, len_s, mem, hit) in intervals {
+            w.record_interval(
+                MemMb::new(mem),
+                Instant::from_micros(start_s * 1_000_000),
+                Instant::from_micros((start_s + len_s) * 1_000_000),
+                if hit { IdleOutcome::Hit } else { IdleOutcome::Miss },
+            );
+        }
+        let bucket_sum: f64 = w.per_minute().iter().map(|(h, m)| h.value() + m.value()).sum();
+        let total = w.total().value();
+        prop_assert!((bucket_sum - total).abs() < total * 1e-9 + 1e-6);
+        let cum = w.cumulative_per_minute();
+        if let Some(last) = cum.last() {
+            prop_assert!((last.value() - total).abs() < total * 1e-9 + 1e-6);
+        }
+    }
+
+    // ---------------- profiles ----------------
+
+    #[test]
+    fn startup_is_monotone_in_warmth_for_all_paper_functions(idx in 0usize..20) {
+        let catalog = paper_catalog();
+        let p = catalog.iter().nth(idx).unwrap();
+        let cold = p.startup_from(None);
+        let bare = p.startup_from(Some(Layer::Bare));
+        let lang = p.startup_from(Some(Layer::Lang));
+        let user = p.startup_from(Some(Layer::User));
+        prop_assert!(cold > bare && bare > lang && lang > user);
+    }
+}
+
+// Whole mini-simulations under proptest get fewer cases: they are
+// comparatively expensive.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_traces_never_break_the_engine(
+        raw in prop::collection::vec((0u64..1_800, 0u32..3), 1..120),
+        seed in any::<u64>(),
+        capacity_mb in 256u64..8_192,
+    ) {
+        let catalog = small_catalog();
+        let arrivals: Vec<Arrival> = raw
+            .into_iter()
+            .map(|(s, f)| Arrival {
+                time: Instant::from_micros(s * 1_000_000),
+                function: FunctionId::new(f),
+            })
+            .collect();
+        let trace = Trace::from_arrivals(Micros::from_mins(40), arrivals);
+        let config = SimConfig {
+            memory_capacity: MemMb::new(capacity_mb),
+            seed,
+            ..SimConfig::default()
+        };
+        for policy_idx in 0..2 {
+            let report = match policy_idx {
+                0 => {
+                    let mut p = OpenWhiskDefault::new();
+                    run(&catalog, &mut p, &trace, &config)
+                }
+                _ => {
+                    let mut p = RainbowCake::with_defaults(&catalog).unwrap();
+                    run(&catalog, &mut p, &trace, &config)
+                }
+            };
+            prop_assert!(report.records.len() <= trace.len());
+            for r in &report.records {
+                prop_assert_eq!(r.e2e(), r.queue + r.startup + r.exec);
+            }
+            prop_assert!(report.total_waste().value() >= 0.0);
+        }
+    }
+}
