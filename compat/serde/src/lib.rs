@@ -1,0 +1,21 @@
+//! A minimal, fully offline stand-in for the slice of `serde` this
+//! workspace touches: the `Serialize`/`Deserialize` *derive macros* and
+//! the trait names they refer to.
+//!
+//! The workspace derives the traits widely (so real `serde` can be
+//! swapped back in once a network is available) but never calls a
+//! serializer: the machine-readable artifacts (`BENCH_*.json`,
+//! [`RunReport` JSON]) are written by the hand-rolled encoder in
+//! `rainbowcake-metrics::json`. The derives here therefore expand to
+//! nothing, and the traits are empty markers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

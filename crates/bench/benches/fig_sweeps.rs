@@ -4,7 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use rainbowcake_bench::make_policy;
+use rainbowcake_bench::{make_policy, parallel};
 use rainbowcake_core::mem::MemMb;
 use rainbowcake_sim::{run, CheckpointConfig, SimConfig};
 use rainbowcake_trace::cv::{cv_trace, CvTraceConfig};
@@ -34,7 +34,12 @@ fn bench_sweeps(c: &mut Criterion) {
         group.bench_function(format!("cv2_{name}"), |b| {
             b.iter(|| {
                 let mut policy = make_policy(name, &catalog);
-                black_box(run(&catalog, policy.as_mut(), &trace, &SimConfig::default()))
+                black_box(run(
+                    &catalog,
+                    policy.as_mut(),
+                    &trace,
+                    &SimConfig::default(),
+                ))
             })
         });
     }
@@ -45,6 +50,21 @@ fn bench_sweeps(c: &mut Criterion) {
         b.iter(|| {
             let mut policy = make_policy("RainbowCake", &catalog);
             black_box(run(&catalog, policy.as_mut(), &trace, &config))
+        })
+    });
+
+    // The fig binaries' fan-out path in miniature: the same four
+    // policies dispatched through the parallel executor (thread count
+    // from RAINBOWCAKE_THREADS / available cores).
+    group.bench_function("parallel_fanout_4_policies", |b| {
+        let names = ["OpenWhisk", "SEUSS", "Pagurus", "RainbowCake"];
+        b.iter(|| {
+            black_box(parallel::run_policies(
+                &catalog,
+                &trace,
+                &SimConfig::default(),
+                &names,
+            ))
         })
     });
 

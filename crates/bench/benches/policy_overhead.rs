@@ -51,7 +51,14 @@ fn bench_decisions(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("on_idle_ttl");
-    for name in ["OpenWhisk", "Histogram", "FaasCache", "SEUSS", "Pagurus", "RainbowCake"] {
+    for name in [
+        "OpenWhisk",
+        "Histogram",
+        "FaasCache",
+        "SEUSS",
+        "Pagurus",
+        "RainbowCake",
+    ] {
         let mut policy = make_policy(name, &catalog);
         let ctx = PolicyCtx {
             now: Instant::from_micros(400_000_000),

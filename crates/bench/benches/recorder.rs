@@ -28,21 +28,11 @@ fn bench_recorder(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("estimate_user_iat", n), &n, |b, _| {
             b.iter(|| {
-                black_box(rec.estimate_iat(
-                    ShareScope::Function(FunctionId::new(3)),
-                    0.8,
-                    now,
-                ))
+                black_box(rec.estimate_iat(ShareScope::Function(FunctionId::new(3)), 0.8, now))
             })
         });
         group.bench_with_input(BenchmarkId::new("estimate_lang_iat", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(rec.estimate_iat(
-                    ShareScope::Language(Language::Python),
-                    0.8,
-                    now,
-                ))
-            })
+            b.iter(|| black_box(rec.estimate_iat(ShareScope::Language(Language::Python), 0.8, now)))
         });
     }
     group.finish();

@@ -4,11 +4,10 @@
 //! what EXPERIMENTS.md is generated from.
 
 use rainbowcake_bench::{
-    fn_avg_e2e_s, fn_avg_startup_ms, print_table, reduction_pct, Testbed, BASELINE_NAMES,
+    fn_avg_e2e_s, fn_avg_startup_ms, parallel, print_table, reduction_pct, Testbed, BASELINE_NAMES,
 };
 use rainbowcake_core::mem::MemMb;
 use rainbowcake_core::rainbow::RainbowCake;
-use rainbowcake_bench::make_policy;
 use rainbowcake_sim::{run, CheckpointConfig, SimConfig};
 use rainbowcake_trace::cv::paper_cv_sets;
 
@@ -16,9 +15,10 @@ fn main() {
     let bed = Testbed::paper_8h();
     println!("=== RainbowCake reproduction: full evaluation ===");
     println!(
-        "8-hour Azure-like trace, {} invocations, 20 functions, {} worker\n",
+        "8-hour Azure-like trace, {} invocations, 20 functions, {} worker ({} threads)\n",
         bed.trace.len(),
-        bed.config.memory_capacity
+        bed.config.memory_capacity,
+        parallel::worker_threads()
     );
 
     // ---- Headline table (Figs. 3, 6, 7, 8) ----
@@ -40,8 +40,14 @@ fn main() {
     }
     print_table(
         &[
-            "policy", "fn_avg_st_ms", "fn_avg_e2e_s", "inv_avg_st_ms", "p99_e2e_s",
-            "total_st_s", "waste_GBs", "cold",
+            "policy",
+            "fn_avg_st_ms",
+            "fn_avg_e2e_s",
+            "inv_avg_st_ms",
+            "p99_e2e_s",
+            "total_st_s",
+            "waste_GBs",
+            "cold",
         ],
         &rows,
     );
@@ -72,26 +78,34 @@ fn main() {
         ]);
     }
     print_table(
-        &["baseline", "startup reduction", "paper", "waste reduction", "paper"],
+        &[
+            "baseline",
+            "startup reduction",
+            "paper",
+            "waste reduction",
+            "paper",
+        ],
         &rows,
     );
 
     // ---- Fig. 9 ablation ----
     println!("\n-- Fig. 9 ablation --");
-    let ns = bed.run("RainbowCake-NoSharing");
-    let nl = bed.run("RainbowCake-NoLayers");
+    let mut ablations = parallel::run_policies(
+        &bed.catalog,
+        &bed.trace,
+        &bed.config,
+        &["RainbowCake-NoSharing", "RainbowCake-NoLayers"],
+    );
+    let nl = ablations.pop().expect("two ablation runs");
+    let ns = ablations.pop().expect("two ablation runs");
     let mut rows = Vec::new();
-    for (r, paper_st, paper_w) in [
-        (rc, "—", "—"),
-        (&ns, "+23%", "+25%"),
-        (&nl, "+14%", "+39%"),
-    ] {
+    for (r, paper_st, paper_w) in [(rc, "—", "—"), (&ns, "+23%", "+25%"), (&nl, "+14%", "+39%")]
+    {
         rows.push(vec![
             r.policy.clone(),
             format!(
                 "{:+.0}%",
-                (r.total_startup().as_secs_f64() / rc.total_startup().as_secs_f64() - 1.0)
-                    * 100.0
+                (r.total_startup().as_secs_f64() / rc.total_startup().as_secs_f64() - 1.0) * 100.0
             ),
             paper_st.to_string(),
             format!(
@@ -102,7 +116,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["variant", "startup vs full", "paper", "waste vs full", "paper"],
+        &[
+            "variant",
+            "startup vs full",
+            "paper",
+            "waste vs full",
+            "paper",
+        ],
         &rows,
     );
 
@@ -112,19 +132,37 @@ fn main() {
     let total = rc.records.len() as f64;
     for (t, c) in counts {
         if c > 0 {
-            println!("  {:<12} {:>7}  ({:.1}%)", t.paper_label(), c, c as f64 / total * 100.0);
+            println!(
+                "  {:<12} {:>7}  ({:.1}%)",
+                t.paper_label(),
+                c,
+                c as f64 / total * 100.0
+            );
         }
     }
 
     // ---- Fig. 12 robustness (condensed) ----
     println!("\n-- Fig. 12 robustness: RainbowCake vs OpenWhisk across IAT CVs --");
     let sets = paper_cv_sets(bed.catalog.len(), 0xC0FFEE);
+    // One job per (cv set, policy): all runs are independent, so the
+    // whole grid fans out at once and rows are reassembled in order.
+    let robustness = parallel::run_jobs(
+        sets.iter()
+            .flat_map(|(_, trace)| {
+                ["OpenWhisk", "RainbowCake"].map(|name| {
+                    let catalog = &bed.catalog;
+                    move || {
+                        let mut policy = rainbowcake_bench::make_policy(name, catalog);
+                        run(catalog, policy.as_mut(), trace, &SimConfig::default())
+                    }
+                })
+            })
+            .collect(),
+    );
     let mut rows = Vec::new();
-    for (cv, trace) in &sets {
+    for ((cv, _), pair) in sets.iter().zip(robustness.chunks(2)) {
         let mut row = vec![format!("{cv:.1}")];
-        for name in ["OpenWhisk", "RainbowCake"] {
-            let mut policy = make_policy(name, &bed.catalog);
-            let rep = run(&bed.catalog, policy.as_mut(), trace, &SimConfig::default());
+        for rep in pair {
             row.push(format!(
                 "{:.0}/{:.0}",
                 rep.total_startup().as_secs_f64(),
@@ -133,20 +171,22 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table(&["cv", "OpenWhisk st_s/waste", "RainbowCake st_s/waste"], &rows);
+    print_table(
+        &["cv", "OpenWhisk st_s/waste", "RainbowCake st_s/waste"],
+        &rows,
+    );
 
     // ---- Fig. 12(d): tight memory budget ----
     println!("\n-- Fig. 12(d): startup under a 40 GB budget (CV = 1.0 set) --");
     let (_, trace) = &sets[4];
+    let tight = parallel::run_policies(
+        &bed.catalog,
+        trace,
+        &SimConfig::with_memory(MemMb::from_gb(40)),
+        &BASELINE_NAMES,
+    );
     let mut rows = Vec::new();
-    for name in BASELINE_NAMES {
-        let mut policy = make_policy(name, &bed.catalog);
-        let rep = run(
-            &bed.catalog,
-            policy.as_mut(),
-            trace,
-            &SimConfig::with_memory(MemMb::from_gb(40)),
-        );
+    for (name, rep) in BASELINE_NAMES.iter().zip(&tight) {
         rows.push(vec![
             name.to_string(),
             format!("{:.0}", rep.total_startup().as_secs_f64()),

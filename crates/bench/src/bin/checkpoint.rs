@@ -43,15 +43,19 @@ fn main() {
         ],
     ];
     print_table(
-        &["configuration", "avg_startup_ms", "total_startup_s", "waste_GBs", "cold"],
+        &[
+            "configuration",
+            "avg_startup_ms",
+            "total_startup_s",
+            "waste_GBs",
+            "cold",
+        ],
         &rows,
     );
 
-    let startup_delta = (1.0
-        - cp.avg_startup().as_millis_f64() / base.avg_startup().as_millis_f64())
-        * 100.0;
-    let waste_delta =
-        (cp.total_waste().value() / base.total_waste().value() - 1.0) * 100.0;
+    let startup_delta =
+        (1.0 - cp.avg_startup().as_millis_f64() / base.avg_startup().as_millis_f64()) * 100.0;
+    let waste_delta = (cp.total_waste().value() / base.total_waste().value() - 1.0) * 100.0;
     println!("\nmeasured: checkpointing reduces average startup by {startup_delta:.0}%");
     println!("          and increases total memory waste by {waste_delta:.0}%");
     println!("paper:    -36% average startup, +15% total memory waste.");

@@ -6,9 +6,7 @@ use rainbowcake_bench::print_table;
 use rainbowcake_core::mem::MemMb;
 use rainbowcake_core::policy::Policy;
 use rainbowcake_core::rainbow::RainbowCake;
-use rainbowcake_sim::cluster::{
-    run_cluster, LeastLoaded, LocalitySharingLoad, RoundRobin, Router,
-};
+use rainbowcake_sim::cluster::{run_cluster, LeastLoaded, LocalitySharingLoad, RoundRobin, Router};
 use rainbowcake_sim::SimConfig;
 use rainbowcake_trace::azure::{azure_like_trace, AzureConfig};
 use rainbowcake_workloads::paper_catalog;
@@ -57,7 +55,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["router", "completed", "cold", "total_startup_s", "waste_GBs", "imbalance"],
+        &[
+            "router",
+            "completed",
+            "cold",
+            "total_startup_s",
+            "waste_GBs",
+            "imbalance",
+        ],
         &rows,
     );
     println!("\nfinding: warmth-aware routing (the paper's three factors) roughly halves");

@@ -70,15 +70,18 @@ fn main() {
         .collect();
     print_table(
         &[
-            "fn", "setup_ms", "lang_ms", "load_ms", "exec_ms", "measured_cold_ms",
-            "bare_MB", "lang_MB", "user_MB",
+            "fn",
+            "setup_ms",
+            "lang_ms",
+            "load_ms",
+            "exec_ms",
+            "measured_cold_ms",
+            "bare_MB",
+            "lang_MB",
+            "user_MB",
         ],
         &rows,
     );
-    println!(
-        "\npaper shape: Java cold starts are the longest (multi-second, JVM-dominated),"
-    );
-    println!(
-        "Node.js the shortest; memory footprints reach ~400+ MB for the ML functions."
-    );
+    println!("\npaper shape: Java cold starts are the longest (multi-second, JVM-dominated),");
+    println!("Node.js the shortest; memory footprints reach ~400+ MB for the ML functions.");
 }

@@ -22,20 +22,32 @@ fn main() {
         for r in &reports {
             let e2e = r.cumulative_e2e_per_minute();
             let idx = (minute - 1).min(e2e.len().saturating_sub(1));
-            row.push(format!("{:.0}", e2e.get(idx).map(|m| m.as_secs_f64()).unwrap_or(0.0)));
+            row.push(format!(
+                "{:.0}",
+                e2e.get(idx).map(|m| m.as_secs_f64()).unwrap_or(0.0)
+            ));
         }
         for r in &reports {
             let w = r.waste.cumulative_per_minute();
             let idx = (minute - 1).min(w.len().saturating_sub(1));
-            row.push(format!("{:.0}", w.get(idx).map(|g| g.value()).unwrap_or(0.0)));
+            row.push(format!(
+                "{:.0}",
+                w.get(idx).map(|g| g.value()).unwrap_or(0.0)
+            ));
         }
         rows.push(row);
     }
     print_table(
         &[
             "min",
-            "e2e:Histogram", "e2e:SEUSS", "e2e:Pagurus", "e2e:RainbowCake",
-            "waste:Histogram", "waste:SEUSS", "waste:Pagurus", "waste:RainbowCake",
+            "e2e:Histogram",
+            "e2e:SEUSS",
+            "e2e:Pagurus",
+            "e2e:RainbowCake",
+            "waste:Histogram",
+            "waste:SEUSS",
+            "waste:Pagurus",
+            "waste:RainbowCake",
         ],
         &rows,
     );

@@ -37,8 +37,14 @@ fn main() {
     }
     print_table(
         &[
-            "policy", "invocations", "avg_s", "p50_s", "p99_s", "max_s",
-            "RC avg reduction", "RC p99 reduction",
+            "policy",
+            "invocations",
+            "avg_s",
+            "p50_s",
+            "p99_s",
+            "max_s",
+            "RC avg reduction",
+            "RC p99 reduction",
         ],
         &rows,
     );

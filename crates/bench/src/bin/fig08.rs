@@ -60,8 +60,12 @@ fn main() {
     }
     print_table(
         &[
-            "policy", "hit_GBs", "never_hit_GBs", "total_GBs",
-            "RC reduction", "paper",
+            "policy",
+            "hit_GBs",
+            "never_hit_GBs",
+            "total_GBs",
+            "RC reduction",
+            "paper",
         ],
         &rows,
     );

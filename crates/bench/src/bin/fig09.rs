@@ -5,7 +5,11 @@
 
 use rainbowcake_bench::{print_table, Testbed};
 
-const VARIANTS: [&str; 3] = ["RainbowCake", "RainbowCake-NoSharing", "RainbowCake-NoLayers"];
+const VARIANTS: [&str; 3] = [
+    "RainbowCake",
+    "RainbowCake-NoSharing",
+    "RainbowCake-NoLayers",
+];
 
 fn main() {
     let bed = Testbed::paper_8h();
@@ -34,7 +38,12 @@ fn main() {
     }
     print_table(
         &[
-            "variant", "total_startup_s", "vs full", "total_waste_GBs", "vs full", "cold",
+            "variant",
+            "total_startup_s",
+            "vs full",
+            "total_waste_GBs",
+            "vs full",
+            "cold",
         ],
         &rows,
     );

@@ -41,7 +41,9 @@ fn main() {
         ]);
     }
     print_table(
-        &["minutes", "arrivals", "User", "Lang", "Bare", "Load", "Cold"],
+        &[
+            "minutes", "arrivals", "User", "Lang", "Bare", "Load", "Cold",
+        ],
         &rows,
     );
 
@@ -71,7 +73,12 @@ fn main() {
         );
     }
     println!("\ncold-start reductions by container type (share of avoided colds):");
-    for (label, v) in [("User", user), ("Lang", lang), ("Bare", bare), ("Load", load)] {
+    for (label, v) in [
+        ("User", user),
+        ("Lang", lang),
+        ("Bare", bare),
+        ("Load", load),
+    ] {
         println!("  {:<5} {:>6.1}%", label, v as f64 / avoided * 100.0);
     }
     println!("\npaper: User containers reduce 35% of cold-starts, Lang 41%, Bare 13%;");

@@ -2,7 +2,7 @@
 //! as the knob α sweeps 0.990-0.999, the IAT quantile p sweeps 0.1-0.9,
 //! and the sliding-window size n sweeps 1-10.
 
-use rainbowcake_bench::{print_table, Testbed};
+use rainbowcake_bench::{parallel, print_table, Testbed};
 use rainbowcake_core::cost::CostModel;
 use rainbowcake_core::rainbow::{RainbowCake, RainbowConfig};
 use rainbowcake_sim::run;
@@ -10,31 +10,49 @@ use rainbowcake_sim::run;
 fn main() {
     let bed = Testbed::paper_8h();
     println!(
-        "Fig. 11: sensitivity of RainbowCake's unified cost ({} invocations over 8 h)\n",
-        bed.trace.len()
+        "Fig. 11: sensitivity of RainbowCake's unified cost ({} invocations over 8 h, {} threads)\n",
+        bed.trace.len(),
+        parallel::worker_threads()
     );
 
-    let run_cfg = |cfg: RainbowConfig| {
-        let mut policy = RainbowCake::new(&bed.catalog, cfg.clone()).expect("valid config");
-        let report = run(&bed.catalog, &mut policy, &bed.trace, &bed.config);
-        // Unified cost is always evaluated with the run's own alpha.
-        let model = CostModel::new(cfg.alpha).expect("valid alpha");
-        (
-            report.total_startup().as_secs_f64(),
-            report.total_waste().value(),
-            report.unified_cost(model),
+    // Every configuration is an independent 8-hour run: fan each sweep
+    // out across threads, results in sweep order.
+    let run_cfgs = |cfgs: Vec<RainbowConfig>| -> Vec<(f64, f64, f64)> {
+        let bed = &bed;
+        parallel::run_jobs(
+            cfgs.into_iter()
+                .map(|cfg| {
+                    move || {
+                        let mut policy =
+                            RainbowCake::new(&bed.catalog, cfg.clone()).expect("valid config");
+                        let report = run(&bed.catalog, &mut policy, &bed.trace, &bed.config);
+                        // Unified cost is always evaluated with the run's own alpha.
+                        let model = CostModel::new(cfg.alpha).expect("valid alpha");
+                        (
+                            report.total_startup().as_secs_f64(),
+                            report.total_waste().value(),
+                            report.unified_cost(model),
+                        )
+                    }
+                })
+                .collect(),
         )
     };
 
     // (a) knob alpha.
     println!("(a) cost knob alpha (p = 0.8, n = 6):");
+    let alphas: Vec<f64> = (0..10).map(|i| 0.990 + i as f64 * 0.001).collect();
+    let results = run_cfgs(
+        alphas
+            .iter()
+            .map(|&alpha| RainbowConfig {
+                alpha,
+                ..RainbowConfig::default()
+            })
+            .collect(),
+    );
     let mut rows = Vec::new();
-    for i in 0..10 {
-        let alpha = 0.990 + i as f64 * 0.001;
-        let (st, w, cost) = run_cfg(RainbowConfig {
-            alpha,
-            ..RainbowConfig::default()
-        });
+    for (alpha, (st, w, cost)) in alphas.iter().zip(results) {
         rows.push(vec![
             format!("{alpha:.3}"),
             format!("{st:.0}"),
@@ -46,13 +64,18 @@ fn main() {
 
     // (b) IAT quantile p.
     println!("\n(b) IAT quantile p (alpha = 0.996, n = 6):");
+    let quantiles: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+    let results = run_cfgs(
+        quantiles
+            .iter()
+            .map(|&quantile| RainbowConfig {
+                quantile,
+                ..RainbowConfig::default()
+            })
+            .collect(),
+    );
     let mut rows = Vec::new();
-    for i in 1..=9 {
-        let p = i as f64 / 10.0;
-        let (st, w, cost) = run_cfg(RainbowConfig {
-            quantile: p,
-            ..RainbowConfig::default()
-        });
+    for (p, (st, w, cost)) in quantiles.iter().zip(results) {
         rows.push(vec![
             format!("{p:.1}"),
             format!("{st:.0}"),
@@ -64,12 +87,18 @@ fn main() {
 
     // (c) window size n.
     println!("\n(c) sliding-window size n (alpha = 0.996, p = 0.8):");
+    let windows: Vec<usize> = (1..=10).collect();
+    let results = run_cfgs(
+        windows
+            .iter()
+            .map(|&window| RainbowConfig {
+                window,
+                ..RainbowConfig::default()
+            })
+            .collect(),
+    );
     let mut rows = Vec::new();
-    for n in 1..=10usize {
-        let (st, w, cost) = run_cfg(RainbowConfig {
-            window: n,
-            ..RainbowConfig::default()
-        });
+    for (n, (st, w, cost)) in windows.iter().zip(results) {
         rows.push(vec![
             format!("{n}"),
             format!("{st:.0}"),

@@ -2,9 +2,9 @@
 //! (b) total startup latency vs CV, (c) total memory waste vs CV,
 //! (d) total startup latency vs worker memory budget 40-280 GB.
 
-use rainbowcake_bench::{make_policy, print_table, BASELINE_NAMES};
+use rainbowcake_bench::{parallel, print_table, BASELINE_NAMES};
 use rainbowcake_core::mem::MemMb;
-use rainbowcake_sim::{run, SimConfig};
+use rainbowcake_sim::SimConfig;
 use rainbowcake_trace::cv::paper_cv_sets;
 use rainbowcake_trace::stats;
 use rainbowcake_workloads::paper_catalog;
@@ -23,9 +23,7 @@ fn main() {
             .map(|&c| c as f64)
             .collect();
         let measured: Vec<f64> = (0..catalog.len() as u32)
-            .filter_map(|i| {
-                trace.iat_cv_for(rainbowcake_core::types::FunctionId::new(i))
-            })
+            .filter_map(|i| trace.iat_cv_for(rainbowcake_core::types::FunctionId::new(i)))
             .collect();
         rows.push(vec![
             format!("{cv:.1}"),
@@ -36,20 +34,38 @@ fn main() {
         ]);
     }
     print_table(
-        &["target_cv", "invocations", "measured_iat_cv", "peak_per_min", "minute_cv"],
+        &[
+            "target_cv",
+            "invocations",
+            "measured_iat_cv",
+            "peak_per_min",
+            "minute_cv",
+        ],
         &rows,
     );
 
-    // (b) + (c): startup and waste vs CV for all six policies.
+    // (b) + (c): startup and waste vs CV for all six policies — the
+    // whole (cv set × policy) grid fans out across threads at once.
     println!("\nFig. 12(b): total startup latency (s) vs IAT CV:");
+    let grid = parallel::run_jobs(
+        sets.iter()
+            .flat_map(|(_, trace)| {
+                BASELINE_NAMES.map(|name| {
+                    let catalog = &catalog;
+                    move || {
+                        let mut policy = rainbowcake_bench::make_policy(name, catalog);
+                        rainbowcake_sim::run(catalog, policy.as_mut(), trace, &SimConfig::default())
+                    }
+                })
+            })
+            .collect(),
+    );
     let mut startup_rows = Vec::new();
     let mut waste_rows = Vec::new();
-    for (cv, trace) in &sets {
+    for ((cv, _), reports) in sets.iter().zip(grid.chunks(BASELINE_NAMES.len())) {
         let mut srow = vec![format!("{cv:.1}")];
         let mut wrow = vec![format!("{cv:.1}")];
-        for name in BASELINE_NAMES {
-            let mut policy = make_policy(name, &catalog);
-            let report = run(&catalog, policy.as_mut(), trace, &SimConfig::default());
+        for report in reports {
             srow.push(format!("{:.0}", report.total_startup().as_secs_f64()));
             wrow.push(format!("{:.0}", report.total_waste().value()));
         }
@@ -63,16 +79,30 @@ fn main() {
     println!("\nFig. 12(c): total memory waste (GB*s) vs IAT CV:");
     print_table(&headers, &waste_rows);
 
-    // (d): startup vs memory budget on the CV=1.0 set.
+    // (d): startup vs memory budget on the CV=1.0 set; again one job
+    // per (budget, policy) cell.
     println!("\nFig. 12(d): total startup latency (s) vs memory budget (CV = 1.0 set):");
     let (_, trace) = &sets[4];
+    let budgets: Vec<u64> = (40..=280).step_by(40).collect();
+    let grid = parallel::run_jobs(
+        budgets
+            .iter()
+            .flat_map(|&gb| {
+                BASELINE_NAMES.map(|name| {
+                    let catalog = &catalog;
+                    move || {
+                        let mut policy = rainbowcake_bench::make_policy(name, catalog);
+                        let config = SimConfig::with_memory(MemMb::from_gb(gb));
+                        rainbowcake_sim::run(catalog, policy.as_mut(), trace, &config)
+                    }
+                })
+            })
+            .collect(),
+    );
     let mut rows = Vec::new();
-    for gb in (40..=280).step_by(40) {
+    for (gb, reports) in budgets.iter().zip(grid.chunks(BASELINE_NAMES.len())) {
         let mut row = vec![format!("{gb}GB")];
-        for name in BASELINE_NAMES {
-            let mut policy = make_policy(name, &catalog);
-            let config = SimConfig::with_memory(MemMb::from_gb(gb));
-            let report = run(&catalog, policy.as_mut(), trace, &config);
+        for report in reports {
             row.push(format!("{:.0}", report.total_startup().as_secs_f64()));
         }
         rows.push(row);

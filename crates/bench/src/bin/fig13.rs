@@ -8,7 +8,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use rainbowcake_bench::print_table;
+use rainbowcake_bench::{parallel, print_table};
 use rainbowcake_core::rainbow::RainbowCake;
 use rainbowcake_core::time::{Instant, Micros};
 use rainbowcake_sim::concurrency::transition_overhead;
@@ -53,19 +53,31 @@ fn main() {
     println!("\n(end-to-end) startup under a cold concurrency storm (ramp absorption):");
     let catalog = paper_catalog();
     let vp = catalog.by_name("VP-Py").expect("VP-Py exists").id;
-    let mut rows = Vec::new();
-    for conc in [100usize, 400, 700, 1000] {
-        // All arrivals in the first second; VP-Py runs ~6 s, so all are
-        // concurrently in flight.
-        let arrivals: Vec<Arrival> = (0..conc)
-            .map(|i| Arrival {
-                time: Instant::from_micros(i as u64 * 10_000),
-                function: vp,
+    // The four storms are independent simulations — fan them out.
+    let storms: Vec<usize> = vec![100, 400, 700, 1000];
+    let reports = parallel::run_jobs(
+        storms
+            .iter()
+            .map(|&conc| {
+                let (catalog, cfg) = (&catalog, &cfg);
+                move || {
+                    // All arrivals in the first second; VP-Py runs ~6 s,
+                    // so all are concurrently in flight.
+                    let arrivals: Vec<Arrival> = (0..conc)
+                        .map(|i| Arrival {
+                            time: Instant::from_micros(i as u64 * 10_000),
+                            function: vp,
+                        })
+                        .collect();
+                    let trace = Trace::from_arrivals(Micros::from_mins(5), arrivals);
+                    let mut policy = RainbowCake::with_defaults(catalog).expect("valid");
+                    run(catalog, &mut policy, &trace, cfg)
+                }
             })
-            .collect();
-        let trace = Trace::from_arrivals(Micros::from_mins(5), arrivals);
-        let mut policy = RainbowCake::with_defaults(&catalog).expect("valid");
-        let report = run(&catalog, &mut policy, &trace, &cfg);
+            .collect(),
+    );
+    let mut rows = Vec::new();
+    for (conc, report) in storms.iter().zip(&reports) {
         let max_st = report
             .records
             .iter()
@@ -79,7 +91,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["concurrent", "completed", "avg_startup_ms", "max_startup_ms"],
+        &[
+            "concurrent",
+            "completed",
+            "avg_startup_ms",
+            "max_startup_ms",
+        ],
         &rows,
     );
     println!("\npaper: all three hand-offs stay in the tens of milliseconds with only");

@@ -29,7 +29,16 @@ fn main() {
         })
         .collect();
     print_table(
-        &["fn", "Bare", "B-L", "Lang", "L-U", "User", "U-Run", "total overhead"],
+        &[
+            "fn",
+            "Bare",
+            "B-L",
+            "Lang",
+            "L-U",
+            "User",
+            "U-Run",
+            "total overhead",
+        ],
         &rows,
     );
     println!(

@@ -22,12 +22,20 @@ fn main() {
         })
         .collect();
     print_table(
-        &["Language", "Function", "Domain", "cold_ms", "user_mem", "exec_ms"],
+        &[
+            "Language", "Function", "Domain", "cold_ms", "user_mem", "exec_ms",
+        ],
         &rows,
     );
     println!("\npaper: 20 functions — 6 Node.js, 9 Python, 5 Java across 5 domains");
-    let js = catalog.language_group(rainbowcake_core::types::Language::NodeJs).len();
-    let py = catalog.language_group(rainbowcake_core::types::Language::Python).len();
-    let java = catalog.language_group(rainbowcake_core::types::Language::Java).len();
+    let js = catalog
+        .language_group(rainbowcake_core::types::Language::NodeJs)
+        .len();
+    let py = catalog
+        .language_group(rainbowcake_core::types::Language::Python)
+        .len();
+    let java = catalog
+        .language_group(rainbowcake_core::types::Language::Java)
+        .len();
     println!("measured: {js} Node.js, {py} Python, {java} Java");
 }

@@ -68,7 +68,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["DRAM", "dram_hit", "nvm_hit", "miss", "avg_nvm_restore_ms", "dram_used", "nvm_used"],
+        &[
+            "DRAM",
+            "dram_hit",
+            "nvm_hit",
+            "miss",
+            "avg_nvm_restore_ms",
+            "dram_used",
+            "nvm_used",
+        ],
         &rows,
     );
     println!("\nexpected shape: shrinking DRAM shifts hits from DRAM to NVM (bounded");

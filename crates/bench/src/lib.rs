@@ -5,12 +5,18 @@
 //! table/figure (see DESIGN.md §4 for the index); `benches/` holds
 //! criterion micro-benchmarks of policy decision overhead and engine
 //! throughput.
+//!
+//! Independent experiment runs fan out across threads through
+//! [`parallel`]; `bin/perf_baseline` writes the machine-readable
+//! `BENCH_*.json` performance artifact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod parallel;
 pub mod suite;
 
+pub use parallel::{run_jobs, run_jobs_on, run_policies, worker_threads};
 pub use suite::{
     fn_avg_e2e_s, fn_avg_startup_ms, make_policy, print_table, reduction_pct, Testbed,
     BASELINE_NAMES,

@@ -107,8 +107,16 @@ impl Testbed {
         run(&self.catalog, policy.as_mut(), &self.trace, &self.config)
     }
 
-    /// Runs all six §7.1 policies in order.
+    /// Runs all six §7.1 policies, fanned out across threads; reports
+    /// come back in `BASELINE_NAMES` order and are bit-identical to
+    /// [`Testbed::run_all_sequential`].
     pub fn run_all(&self) -> Vec<RunReport> {
+        crate::parallel::run_policies(&self.catalog, &self.trace, &self.config, &BASELINE_NAMES)
+    }
+
+    /// Runs all six §7.1 policies in order on the calling thread (the
+    /// reference implementation `run_all` must match exactly).
+    pub fn run_all_sequential(&self) -> Vec<RunReport> {
         BASELINE_NAMES.iter().map(|n| self.run(n)).collect()
     }
 }
@@ -210,4 +218,3 @@ mod tests {
         }
     }
 }
-

@@ -280,11 +280,7 @@ impl HistoryRecorder {
                 .iter()
                 .map(|&i| self.functions[i].rate_at(now))
                 .sum(),
-            ShareScope::Global => self
-                .functions
-                .iter()
-                .map(|h| h.rate_at(now))
-                .sum(),
+            ShareScope::Global => self.functions.iter().map(|h| h.rate_at(now)).sum(),
         }
     }
 
@@ -310,7 +306,6 @@ impl HistoryRecorder {
             .mean()
             .map(|mb| MemMb::new(mb.round().max(0.0) as u64))
     }
-
 }
 
 #[cfg(test)]
@@ -408,9 +403,7 @@ mod tests {
         let py = r.rate(ShareScope::Language(Language::Python), now);
         let java = r.rate(ShareScope::Language(Language::Java), now);
         let all = r.rate(ShareScope::Global, now);
-        assert!(
-            (py - (r.function_rate(fid(0), now) + r.function_rate(fid(1), now))).abs() < 1e-9
-        );
+        assert!((py - (r.function_rate(fid(0), now) + r.function_rate(fid(1), now))).abs() < 1e-9);
         assert!((java - r.function_rate(fid(2), now)).abs() < 1e-9);
         assert!((all - (py + java)).abs() < 1e-9);
         assert_eq!(r.rate(ShareScope::Language(Language::NodeJs), now), 0.0);

@@ -145,17 +145,11 @@ impl LifecycleState {
     /// Returns [`IllegalTransition`] if Fig. 5 has no such edge — e.g.
     /// downgrading a running container, or executing on a `Bare` idle
     /// container without upgrading it first.
-    pub fn transition(
-        self,
-        event: LifecycleEvent,
-    ) -> Result<LifecycleState, IllegalTransition> {
+    pub fn transition(self, event: LifecycleEvent) -> Result<LifecycleState, IllegalTransition> {
         use LifecycleEvent as E;
         use LifecycleState as S;
         match (self, event) {
-            (
-                S::Initializing { target, .. },
-                E::InitComplete { language, owner },
-            ) => {
+            (S::Initializing { target, .. }, E::InitComplete { language, owner }) => {
                 // Consistency of the payload with the target layer.
                 let ok = match target {
                     Layer::Bare => language.is_none() && owner.is_none(),
@@ -184,19 +178,19 @@ impl LifecycleState {
             (S::Running { .. }, E::ExecutionComplete) => {
                 Err(IllegalTransition { state: self, event })
             }
-            (S::Idle { layer, .. }, E::BeginUpgrade { for_function, target })
-                if layer < target =>
-            {
-                Ok(S::Initializing {
-                    target,
+            (
+                S::Idle { layer, .. },
+                E::BeginUpgrade {
                     for_function,
-                })
-            }
+                    target,
+                },
+            ) if layer < target => Ok(S::Initializing {
+                target,
+                for_function,
+            }),
             (
                 S::Idle {
-                    layer,
-                    language,
-                    ..
+                    layer, language, ..
                 },
                 E::Downgrade,
             ) => match layer.downgrade() {
@@ -411,7 +405,9 @@ mod tests {
             language: Some(Language::Python),
             owner: None,
         };
-        assert!(lang.transition(LifecycleEvent::Adopt { function: G }).is_err());
+        assert!(lang
+            .transition(LifecycleEvent::Adopt { function: G })
+            .is_err());
         assert!(LifecycleState::Running { function: F }
             .transition(LifecycleEvent::Adopt { function: G })
             .is_err());

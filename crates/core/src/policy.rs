@@ -256,9 +256,7 @@ pub fn reuse_startup(
             profile.startup_from(Some(Layer::User))
                 + profile.stages.user.mul_f64(snapshot_restore_frac)
         }
-        ReuseClass::SharedPacked => {
-            profile.startup_from(Some(Layer::User)) + packed_specialize
-        }
+        ReuseClass::SharedPacked => profile.startup_from(Some(Layer::User)) + packed_specialize,
         ReuseClass::SharedLang => profile.startup_from(Some(Layer::Lang)),
         ReuseClass::SharedBare => profile.startup_from(Some(Layer::Bare)),
     }

@@ -338,9 +338,18 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Python));
-        c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Python));
-        c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Java));
+        c.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Python,
+        ));
+        c.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Python,
+        ));
+        c.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Java,
+        ));
         c
     }
 
@@ -358,10 +367,7 @@ mod tests {
     #[test]
     fn cold_equals_all_stages_plus_transitions() {
         let p = FunctionProfile::synthetic(FunctionId::new(0), Language::NodeJs);
-        assert_eq!(
-            p.cold_startup(),
-            p.stages.total() + p.transitions.total()
-        );
+        assert_eq!(p.cold_startup(), p.stages.total() + p.transitions.total());
     }
 
     #[test]

@@ -224,9 +224,9 @@ impl Policy for RainbowCake {
     fn on_arrival(&mut self, ctx: &PolicyCtx<'_>, f: FunctionId) -> ArrivalResponse {
         self.recorder.record_arrival(f, ctx.now);
         // Alg. 1: schedule a pre-warm check one predicted IAT from now.
-        let iat = self
-            .recorder
-            .estimate_iat(ShareScope::Function(f), self.config.quantile, ctx.now);
+        let iat =
+            self.recorder
+                .estimate_iat(ShareScope::Function(f), self.config.quantile, ctx.now);
         if iat == Micros::MAX {
             // No fitted rate yet: nothing to schedule.
             return ArrivalResponse::none();
@@ -304,10 +304,9 @@ impl Policy for RainbowCake {
                         // Warmth = startup latency this container saves
                         // over a cold start; evict where memory freed per
                         // second of warmth lost is highest.
-                        let warmth = (profile.cold_startup()
-                            - profile.startup_from(Some(c.layer)))
-                        .as_secs_f64()
-                        .max(1e-9);
+                        let warmth = (profile.cold_startup() - profile.startup_from(Some(c.layer)))
+                            .as_secs_f64()
+                            .max(1e-9);
                         c.memory.as_gb_f64() / warmth
                     };
                     score(a)
@@ -416,12 +415,20 @@ mod tests {
         let cx = ctx(&c, 0);
         // Own User container: warm.
         assert_eq!(
-            p.reuse_class(&cx, f0, &view(Layer::User, Some(f0), Some(Language::Python))),
+            p.reuse_class(
+                &cx,
+                f0,
+                &view(Layer::User, Some(f0), Some(Language::Python))
+            ),
             Some(ReuseClass::WarmUser)
         );
         // Someone else's User container: not reusable.
         assert_eq!(
-            p.reuse_class(&cx, f2, &view(Layer::User, Some(f0), Some(Language::Python))),
+            p.reuse_class(
+                &cx,
+                f2,
+                &view(Layer::User, Some(f0), Some(Language::Python))
+            ),
             None
         );
         // Lang container, same language: shared.
@@ -464,7 +471,11 @@ mod tests {
         let mut p = RainbowCake::with_defaults(&c).unwrap();
         // No arrivals at all: IAT = MAX, so TTL = beta (finite).
         let cx = ctx(&c, 0);
-        let v = view(Layer::User, Some(FunctionId::new(0)), Some(Language::Python));
+        let v = view(
+            Layer::User,
+            Some(FunctionId::new(0)),
+            Some(Language::Python),
+        );
         let ttl = p.on_idle(&cx, &v);
         assert!(ttl < Micros::MAX);
         assert!(ttl > Micros::ZERO);
@@ -509,7 +520,11 @@ mod tests {
         };
         let mut p = RainbowCake::new(&c, cfg).unwrap();
         let cx = ctx(&c, 0);
-        let user = view(Layer::User, Some(FunctionId::new(0)), Some(Language::Python));
+        let user = view(
+            Layer::User,
+            Some(FunctionId::new(0)),
+            Some(Language::Python),
+        );
         assert_eq!(p.on_timeout(&cx, &user), TimeoutDecision::Terminate);
     }
 
@@ -534,7 +549,10 @@ mod tests {
     #[test]
     fn variant_names() {
         let c = catalog();
-        assert_eq!(RainbowCake::with_defaults(&c).unwrap().name(), "RainbowCake");
+        assert_eq!(
+            RainbowCake::with_defaults(&c).unwrap().name(),
+            "RainbowCake"
+        );
         let ns = RainbowCake::new(
             &c,
             RainbowConfig {

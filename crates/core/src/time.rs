@@ -318,10 +318,7 @@ mod tests {
 
     #[test]
     fn mul_f64_scales() {
-        assert_eq!(
-            Micros::from_secs(10).mul_f64(0.5),
-            Micros::from_secs(5)
-        );
+        assert_eq!(Micros::from_secs(10).mul_f64(0.5), Micros::from_secs(5));
         assert_eq!(Micros::from_secs(1).mul_f64(0.0), Micros::ZERO);
     }
 

@@ -6,9 +6,7 @@ use serde::{Deserialize, Serialize};
 
 /// Identifies a deployed serverless function (a code package; §1 of the
 /// paper). Invocations of the same function share a `FunctionId`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FunctionId(u32);
 
 impl FunctionId {
@@ -30,9 +28,7 @@ impl fmt::Display for FunctionId {
 }
 
 /// Identifies a container instance inside a worker's pool.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ContainerId(u64);
 
 impl ContainerId {
@@ -54,9 +50,7 @@ impl fmt::Display for ContainerId {
 }
 
 /// Language runtimes used by the paper's 20-function workload (Table 1).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Language {
     /// Node.js runtime.
     NodeJs,
@@ -93,9 +87,7 @@ impl fmt::Display for Language {
 }
 
 /// Application domains from Table 1 of the paper.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Domain {
     /// Web applications (Auto Complete, Uploader, ...).
     WebApp,
@@ -126,9 +118,7 @@ impl fmt::Display for Domain {
 ///
 /// The derived `Ord` follows the stack order: `Bare < Lang < User`, i.e.
 /// a later variant has strictly more layers installed.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Layer {
     /// Infrastructure only (network, logging, proxy); compatible with
     /// any function.

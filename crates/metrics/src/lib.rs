@@ -8,7 +8,9 @@
 //!   eventually-hit vs never-hit (Fig. 8);
 //! * [`percentile`] — exact percentiles (the P99 lines of Fig. 7);
 //! * [`summary`] — the [`MetricsCollector`] fed by the simulator and the
-//!   [`RunReport`] all experiment harnesses consume.
+//!   [`RunReport`] all experiment harnesses consume;
+//! * [`json`] — deterministic hand-rolled JSON encoding of reports (the
+//!   workspace builds offline, so there is no `serde_json`).
 //!
 //! ```
 //! use rainbowcake_metrics::{MetricsCollector, InvocationRecord, StartType};
@@ -31,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod percentile;
 pub mod record;
 pub mod summary;

@@ -11,9 +11,7 @@ use rainbowcake_core::types::FunctionId;
 /// paper's Fig. 10 (`Load` there corresponds to [`StartType::Attached`]:
 /// the invocation latched onto a container whose initialization was
 /// already in flight).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum StartType {
     /// Full warm start from an idle `User` container of the function.
     WarmUser,

@@ -122,7 +122,11 @@ impl RunReport {
 
     /// A percentile of startup latency (`p` in `[0, 100]`).
     pub fn startup_percentile(&self, p: f64) -> Option<Micros> {
-        let xs: Vec<f64> = self.records.iter().map(|r| r.startup.as_secs_f64()).collect();
+        let xs: Vec<f64> = self
+            .records
+            .iter()
+            .map(|r| r.startup.as_secs_f64())
+            .collect();
         percentile(&xs, p).map(Micros::from_secs_f64)
     }
 
@@ -133,12 +137,7 @@ impl RunReport {
 
     /// Number of invocations per start type (Fig. 10 / §7.4).
     pub fn start_type_counts(&self) -> [(StartType, usize); 7] {
-        StartType::ALL.map(|t| {
-            (
-                t,
-                self.records.iter().filter(|r| r.start_type == t).count(),
-            )
-        })
+        StartType::ALL.map(|t| (t, self.records.iter().filter(|r| r.start_type == t).count()))
     }
 
     /// Number of fully cold starts.
@@ -245,11 +244,17 @@ impl RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::waste::IdleOutcome;
     use rainbowcake_core::mem::MemMb;
     use rainbowcake_core::time::Instant;
-    use crate::waste::IdleOutcome;
 
-    fn rec(f: u32, arrival_s: u64, startup_ms: u64, exec_ms: u64, t: StartType) -> InvocationRecord {
+    fn rec(
+        f: u32,
+        arrival_s: u64,
+        startup_ms: u64,
+        exec_ms: u64,
+        t: StartType,
+    ) -> InvocationRecord {
         InvocationRecord {
             function: FunctionId::new(f),
             arrival: Instant::from_micros(arrival_s * 1_000_000),

@@ -66,7 +66,8 @@ impl WasteTracker {
             let seg_end = bucket_end.min(end);
             let seg = mem.idle_for(seg_end.duration_since(cursor));
             if self.minutes.len() <= bucket {
-                self.minutes.resize(bucket + 1, (GbSeconds::ZERO, GbSeconds::ZERO));
+                self.minutes
+                    .resize(bucket + 1, (GbSeconds::ZERO, GbSeconds::ZERO));
             }
             match outcome {
                 IdleOutcome::Hit => self.minutes[bucket].0 += seg,

@@ -113,8 +113,14 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Python));
-        c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Java));
+        c.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Python,
+        ));
+        c.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Java,
+        ));
         c
     }
 

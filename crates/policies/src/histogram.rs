@@ -152,7 +152,10 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Python));
+        c.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Python,
+        ));
         c
     }
 
@@ -184,7 +187,10 @@ mod tests {
         let f = FunctionId::new(0);
         p.on_arrival(&ctx(&c, 0), f);
         p.on_arrival(&ctx(&c, 60), f);
-        assert_eq!(p.on_idle(&ctx(&c, 60), &view(Some(f))), Micros::from_mins(10));
+        assert_eq!(
+            p.on_idle(&ctx(&c, 60), &view(Some(f))),
+            Micros::from_mins(10)
+        );
     }
 
     #[test]
@@ -231,7 +237,10 @@ mod tests {
         for i in 0..8u64 {
             p.on_arrival(&ctx(&c, i * 18_000), f);
         }
-        assert_eq!(p.on_idle(&ctx(&c, 200_000), &view(Some(f))), Micros::from_mins(10));
+        assert_eq!(
+            p.on_idle(&ctx(&c, 200_000), &view(Some(f))),
+            Micros::from_mins(10)
+        );
     }
 
     #[test]

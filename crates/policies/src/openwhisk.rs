@@ -57,7 +57,10 @@ mod tests {
 
     fn fixture() -> (Catalog, ContainerView) {
         let mut c = Catalog::new();
-        let f = c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Python));
+        let f = c.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Python,
+        ));
         let view = ContainerView {
             id: ContainerId::new(0),
             layer: Layer::User,

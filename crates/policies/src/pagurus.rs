@@ -57,12 +57,7 @@ impl Pagurus {
     /// the same-language functions with the highest recent arrival
     /// rates (the weighted-candidate selection of the original system,
     /// made deterministic by taking the top ranks).
-    fn candidates(
-        &self,
-        ctx: &PolicyCtx<'_>,
-        owner: FunctionId,
-        now: Instant,
-    ) -> Vec<FunctionId> {
+    fn candidates(&self, ctx: &PolicyCtx<'_>, owner: FunctionId, now: Instant) -> Vec<FunctionId> {
         let lang = ctx.profile(owner).language;
         let mut scored: Vec<(FunctionId, f64)> = ctx
             .catalog
@@ -71,8 +66,11 @@ impl Pagurus {
             .map(|p| (p.id, self.rate(p.id, now)))
             .filter(|&(_, r)| r > 0.0)
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         scored
             .into_iter()
             .take(self.pack_limit)
@@ -212,7 +210,10 @@ mod tests {
         let mut p = Pagurus::new(4);
         // Nobody else has history: nothing to help.
         let cx = ctx(&c, 300);
-        assert_eq!(p.on_timeout(&cx, &view(0, Vec::new())), TimeoutDecision::Terminate);
+        assert_eq!(
+            p.on_timeout(&cx, &view(0, Vec::new())),
+            TimeoutDecision::Terminate
+        );
     }
 
     #[test]
@@ -241,7 +242,9 @@ mod tests {
         train(&mut p, &c, 2, 10, 6);
         let cx = ctx(&c, 300);
         match p.on_timeout(&cx, &view(0, Vec::new())) {
-            TimeoutDecision::Repack { extra_functions, .. } => {
+            TimeoutDecision::Repack {
+                extra_functions, ..
+            } => {
                 assert_eq!(extra_functions.len(), 1);
             }
             other => panic!("expected repack, got {other:?}"),

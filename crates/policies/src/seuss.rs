@@ -101,9 +101,18 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Python));
-        c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Python));
-        c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Java));
+        c.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Python,
+        ));
+        c.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Python,
+        ));
+        c.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Java,
+        ));
         c
     }
 
@@ -139,7 +148,11 @@ mod tests {
             Some(ReuseClass::SharedLang)
         );
         // Own specialized snapshot: partial, not warm.
-        let user = view(Layer::User, Some(FunctionId::new(0)), Some(Language::Python));
+        let user = view(
+            Layer::User,
+            Some(FunctionId::new(0)),
+            Some(Language::Python),
+        );
         assert_eq!(
             p.reuse_class(&cx, FunctionId::new(0), &user),
             Some(ReuseClass::SnapshotUser)
@@ -157,7 +170,11 @@ mod tests {
         let c = catalog();
         let mut p = Seuss::new();
         let cx = ctx(&c);
-        let user = view(Layer::User, Some(FunctionId::new(0)), Some(Language::Python));
+        let user = view(
+            Layer::User,
+            Some(FunctionId::new(0)),
+            Some(Language::Python),
+        );
         assert_eq!(p.on_idle(&cx, &user), Micros::from_mins(3));
         assert_eq!(
             p.on_timeout(&cx, &user),

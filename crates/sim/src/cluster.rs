@@ -124,13 +124,7 @@ impl Router for RoundRobin {
     fn name(&self) -> &'static str {
         "RoundRobin"
     }
-    fn route(
-        &mut self,
-        _: Instant,
-        _: FunctionId,
-        _: Language,
-        views: &[WorkerView],
-    ) -> WorkerId {
+    fn route(&mut self, _: Instant, _: FunctionId, _: Language, views: &[WorkerView]) -> WorkerId {
         let w = self.next % views.len();
         self.next = self.next.wrapping_add(1);
         w
@@ -292,7 +286,9 @@ pub fn run_cluster(
     router: &mut dyn Router,
 ) -> ClusterReport {
     assert!(workers > 0, "cluster needs at least one worker");
-    let mut views: Vec<WorkerView> = (0..workers).map(|_| WorkerView::new(catalog.len())).collect();
+    let mut views: Vec<WorkerView> = (0..workers)
+        .map(|_| WorkerView::new(catalog.len()))
+        .collect();
     let mut sub: Vec<Vec<Arrival>> = vec![Vec::new(); workers];
     for a in trace.iter() {
         let language = catalog.profile(a.function).language;
@@ -419,7 +415,14 @@ mod tests {
             warm_window: Micros::from_mins(10),
             ..LocalitySharingLoad::default()
         };
-        let report = run_cluster(&c, &mut ow_factory, &t, 4, &SimConfig::deterministic(1), &mut router);
+        let report = run_cluster(
+            &c,
+            &mut ow_factory,
+            &t,
+            4,
+            &SimConfig::deterministic(1),
+            &mut router,
+        );
         assert_eq!(report.completed(), t.len());
         let mut ow_factory = || Box::new(FixedKeepAlive) as Box<dyn Policy>;
         let rr = run_cluster(

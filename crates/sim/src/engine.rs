@@ -17,7 +17,9 @@ use rand::SeedableRng;
 
 use rainbowcake_core::lifecycle::LifecycleEvent;
 use rainbowcake_core::mem::MemMb;
-use rainbowcake_core::policy::{Policy, PolicyCtx, PrewarmDecision, ReuseClass, TimeoutDecision};
+use rainbowcake_core::policy::{
+    ContainerView, Policy, PolicyCtx, PrewarmDecision, ReuseClass, TimeoutDecision,
+};
 use rainbowcake_core::profile::{Catalog, FunctionProfile};
 use rainbowcake_core::time::{Instant, Micros};
 use rainbowcake_core::types::{ContainerId, FunctionId, Layer};
@@ -36,6 +38,14 @@ use crate::pool::Pool;
 struct QueuedInvocation {
     function: FunctionId,
     arrival: Instant,
+}
+
+/// One way of starting an invocation, considered by `try_place`.
+#[derive(Debug, Clone, Copy)]
+enum Placement {
+    Reuse(ContainerId, ReuseClass),
+    Attach(ContainerId),
+    Cold,
 }
 
 /// Runs `policy` against `trace` and returns the measured report.
@@ -73,6 +83,14 @@ struct Engine<'a> {
     horizon: Instant,
     first_arrival: Vec<Option<Instant>>,
     now: Instant,
+    // Scratch buffers reused across arrivals so the hot path allocates
+    // nothing in steady state. Each user takes a buffer with
+    // `std::mem::take` and puts it back when done; the users never nest
+    // on the same buffer (`try_place` returns the view buffer before
+    // executing placements, which is when `ensure_memory` needs it).
+    scratch_views: Vec<ContainerView>,
+    scratch_reuse: Vec<(ContainerId, ReuseClass, Instant)>,
+    scratch_options: Vec<(Micros, u8, Placement)>,
 }
 
 impl<'a> Engine<'a> {
@@ -94,6 +112,9 @@ impl<'a> Engine<'a> {
             horizon: Instant::ZERO + horizon,
             first_arrival: vec![None; catalog.len()],
             now: Instant::ZERO,
+            scratch_views: Vec::new(),
+            scratch_reuse: Vec::new(),
+            scratch_options: Vec::new(),
         }
     }
 
@@ -124,26 +145,26 @@ impl<'a> Engine<'a> {
 
     fn finish(mut self) -> RunReport {
         // Close the books: idle containers waste memory until the end of
-        // the measurement window.
+        // the measurement window. The pool and the waste tracker are
+        // disjoint fields, so the idle index is walked directly — no
+        // intermediate collection.
         let horizon = self.horizon;
-        let idle: Vec<(ContainerId, Instant, MemMb)> = self
-            .pool
-            .iter()
-            .filter(|c| c.is_idle())
-            .map(|c| (c.id, c.idle_since, c.memory))
-            .collect();
-        for (_, since, mem) in idle {
-            self.record_waste(mem, since, horizon, IdleOutcome::Miss);
+        let waste = self.metrics.waste_mut();
+        for c in self.pool.idle_containers() {
+            let start = c.idle_since.min(horizon);
+            waste.record_interval(c.memory, start, horizon, IdleOutcome::Miss);
         }
         // Checkpoint extension (§7.8): cached checkpoint images are
         // resident from a function's first invocation onward.
         if let Some(cp) = self.config.checkpoint {
-            for (i, first) in self.first_arrival.clone().into_iter().enumerate() {
+            for (i, first) in std::mem::take(&mut self.first_arrival)
+                .into_iter()
+                .enumerate()
+            {
                 if let Some(first) = first {
                     let profile = self.catalog.profile(FunctionId::new(i as u32));
                     let image = MemMb::new(
-                        (profile.memory_at(Layer::User).as_mb() as f64 * cp.image_overhead)
-                            as u64,
+                        (profile.memory_at(Layer::User).as_mb() as f64 * cp.image_overhead) as u64,
                     );
                     self.record_waste(image, first, horizon, IdleOutcome::Miss);
                 }
@@ -201,7 +222,8 @@ impl<'a> Engine<'a> {
                 self.contended(p.transitions.u_run) + self.config.packed_specialize
             }
             ReuseClass::SharedLang => {
-                self.contended(p.transitions.l_u) + p.stages.user
+                self.contended(p.transitions.l_u)
+                    + p.stages.user
                     + self.contended(p.transitions.u_run)
             }
             ReuseClass::SharedBare => {
@@ -269,40 +291,40 @@ impl<'a> Engine<'a> {
     /// admitted now). Returns false if no placement is possible under the
     /// current memory budget.
     fn try_place(&mut self, f: FunctionId, arrival: Instant) -> bool {
-        #[derive(Debug)]
-        enum Placement {
-            Reuse(ContainerId, ReuseClass),
-            Attach(ContainerId),
-            Cold,
-        }
-
         let profile = self.catalog.profile(f).clone();
-        let mut options: Vec<(Micros, u8, Placement)> = Vec::new();
+        let mut options = std::mem::take(&mut self.scratch_options);
+        options.clear();
 
-        // Idle-container reuse options sanctioned by the policy.
-        let idle = self.pool.idle_views(None);
-        let ctx = self.ctx();
-        let mut reuse: Vec<(ContainerId, ReuseClass, Instant)> = idle
-            .iter()
-            .filter_map(|v| {
+        // Idle-container reuse options sanctioned by the policy. The
+        // idle index yields candidates in id order, exactly as the old
+        // whole-pool scan did.
+        {
+            let mut views = std::mem::take(&mut self.scratch_views);
+            self.pool.idle_views_into(None, &mut views);
+            let mut reuse = std::mem::take(&mut self.scratch_reuse);
+            reuse.clear();
+            let ctx = self.ctx();
+            reuse.extend(views.iter().filter_map(|v| {
                 self.policy
                     .reuse_class(&ctx, f, v)
                     .map(|class| (v.id, class, v.idle_since))
-            })
-            .collect();
-        // Prefer warmest class, then most recently idle, then id — and
-        // keep only the best candidate per class to bound work.
-        reuse.sort_by_key(|&(id, class, since)| (class, std::cmp::Reverse(since), id));
-        let mut seen = [false; 5];
-        reuse.retain(|&(_, class, _)| {
-            let i = class as usize;
-            let keep = !seen[i];
-            seen[i] = true;
-            keep
-        });
-        for (id, class, _) in reuse {
-            let startup = self.startup_reuse(&profile, class);
-            options.push((startup, class_rank(class), Placement::Reuse(id, class)));
+            }));
+            self.scratch_views = views;
+            // Prefer warmest class, then most recently idle, then id —
+            // and keep only the best candidate per class to bound work.
+            reuse.sort_by_key(|&(id, class, since)| (class, std::cmp::Reverse(since), id));
+            let mut seen = [false; 5];
+            reuse.retain(|&(_, class, _)| {
+                let i = class as usize;
+                let keep = !seen[i];
+                seen[i] = true;
+                keep
+            });
+            for &(id, class, _) in &reuse {
+                let startup = self.startup_reuse(&profile, class);
+                options.push((startup, class_rank(class), Placement::Reuse(id, class)));
+            }
+            self.scratch_reuse = reuse;
         }
 
         // Attach to an in-flight pre-warm.
@@ -318,26 +340,23 @@ impl<'a> Engine<'a> {
 
         options.sort_by_key(|&(startup, rank, _)| (startup, rank));
 
-        for (startup, _, placement) in options {
-            match placement {
+        let mut placed = false;
+        for &(startup, _, placement) in &options {
+            let ok = match placement {
                 Placement::Reuse(id, class) => {
-                    if self.execute_reuse(id, class, f, &profile, arrival, startup) {
-                        return true;
-                    }
+                    self.execute_reuse(id, class, f, &profile, arrival, startup)
                 }
-                Placement::Attach(id) => {
-                    if self.execute_attach(id, f, &profile, arrival, startup) {
-                        return true;
-                    }
-                }
-                Placement::Cold => {
-                    if self.execute_cold(f, &profile, arrival, startup) {
-                        return true;
-                    }
-                }
+                Placement::Attach(id) => self.execute_attach(id, f, &profile, arrival, startup),
+                Placement::Cold => self.execute_cold(f, &profile, arrival, startup),
+            };
+            if ok {
+                placed = true;
+                break;
             }
         }
-        false
+        options.clear();
+        self.scratch_options = options;
+        placed
     }
 
     fn make_assignment(
@@ -395,32 +414,36 @@ impl<'a> Engine<'a> {
         match class {
             ReuseClass::WarmUser | ReuseClass::SnapshotUser | ReuseClass::SharedPacked => {
                 self.pool.resize(id, target_mem);
-                let c = self.pool.get_mut(id).expect("reuse target exists");
-                if class == ReuseClass::SharedPacked {
-                    c.apply(LifecycleEvent::Adopt { function: f })
-                        .expect("packed container adoptable");
-                    c.packed.clear();
+                {
+                    let mut c = self.pool.get_mut(id).expect("reuse target exists");
+                    if class == ReuseClass::SharedPacked {
+                        c.apply(LifecycleEvent::Adopt { function: f })
+                            .expect("packed container adoptable");
+                        c.packed.clear();
+                    }
+                    c.apply(LifecycleEvent::BeginExecution { function: f })
+                        .expect("idle user container can execute");
+                    c.init_language = Some(profile.language);
+                    c.assigned = Some(assignment);
                 }
-                c.apply(LifecycleEvent::BeginExecution { function: f })
-                    .expect("idle user container can execute");
-                c.init_language = Some(profile.language);
-                c.assigned = Some(assignment);
                 self.events
                     .push(exec_done, EventKind::ExecComplete { container: id });
             }
             ReuseClass::SharedLang | ReuseClass::SharedBare => {
                 self.pool.resize(id, target_mem);
-                let c = self.pool.get_mut(id).expect("reuse target exists");
-                c.apply(LifecycleEvent::BeginUpgrade {
-                    for_function: f,
-                    target: Layer::User,
-                })
-                .expect("idle lower-layer container upgradable");
-                c.init_for = Some(f);
-                c.init_language = Some(profile.language);
-                c.init_done_at = self.now + startup;
-                c.assigned = Some(assignment);
-                let epoch = c.epoch;
+                let epoch = {
+                    let mut c = self.pool.get_mut(id).expect("reuse target exists");
+                    c.apply(LifecycleEvent::BeginUpgrade {
+                        for_function: f,
+                        target: Layer::User,
+                    })
+                    .expect("idle lower-layer container upgradable");
+                    c.init_for = Some(f);
+                    c.init_language = Some(profile.language);
+                    c.init_done_at = self.now + startup;
+                    c.assigned = Some(assignment);
+                    c.epoch
+                };
                 self.events.push(
                     self.now + startup,
                     EventKind::InitComplete {
@@ -441,14 +464,14 @@ impl<'a> Engine<'a> {
         arrival: Instant,
         startup: Micros,
     ) -> bool {
-        let assignment =
-            self.make_assignment(f, profile, arrival, startup, StartType::Attached);
-        let c = match self.pool.get_mut(id) {
-            Some(c) if c.is_attachable_init() => c,
-            _ => return false,
-        };
-        c.assigned = Some(assignment);
-        true
+        let assignment = self.make_assignment(f, profile, arrival, startup, StartType::Attached);
+        match self.pool.get_mut(id) {
+            Some(mut c) if c.is_attachable_init() => {
+                c.assigned = Some(assignment);
+                true
+            }
+            _ => false,
+        }
     }
 
     fn execute_cold(
@@ -489,15 +512,19 @@ impl<'a> Engine<'a> {
     /// Frees memory by evicting policy-chosen idle victims until `extra`
     /// fits. Returns false if that is impossible.
     fn ensure_memory(&mut self, extra: MemMb, exclude: Option<ContainerId>) -> bool {
-        while !self.pool.fits(extra) {
-            let candidates = self.pool.idle_views(exclude);
+        let mut candidates = std::mem::take(&mut self.scratch_views);
+        let ok = loop {
+            if self.pool.fits(extra) {
+                break true;
+            }
+            self.pool.idle_views_into(exclude, &mut candidates);
             if candidates.is_empty() {
-                return false;
+                break false;
             }
             let ctx = self.ctx();
             let victim = match self.policy.select_victim(&ctx, &candidates) {
                 Some(v) => v,
-                None => return false,
+                None => break false,
             };
             debug_assert!(
                 candidates.iter().any(|c| c.id == victim),
@@ -506,8 +533,10 @@ impl<'a> Engine<'a> {
             // No queue drain here: the freed memory is claimed by the
             // caller, and draining would recurse through try_place.
             self.destroy_idle(victim);
-        }
-        true
+        };
+        candidates.clear();
+        self.scratch_views = candidates;
+        ok
     }
 
     /// Destroys an idle container, accounting its last idle interval as
@@ -557,12 +586,10 @@ impl<'a> Engine<'a> {
             }
             _ => return, // stale or gone
         };
-        let owner = (target == Layer::User)
-            .then_some(init_for)
-            .flatten();
+        let owner = (target == Layer::User).then_some(init_for).flatten();
         let lang_payload = (target >= Layer::Lang).then_some(language).flatten();
         {
-            let c = self.pool.get_mut(id).expect("init target exists");
+            let mut c = self.pool.get_mut(id).expect("init target exists");
             c.apply(LifecycleEvent::InitComplete {
                 language: lang_payload,
                 owner,
@@ -574,17 +601,19 @@ impl<'a> Engine<'a> {
             // An invocation is bound (cold start, partial warm start, or
             // attach): begin execution immediately.
             let exec_done = inv.admit + inv.startup + inv.exec;
-            let c = self.pool.get_mut(id).expect("init target exists");
-            c.apply(LifecycleEvent::BeginExecution {
-                function: inv.function,
-            })
-            .expect("initialized container can execute its invocation");
+            {
+                let mut c = self.pool.get_mut(id).expect("init target exists");
+                c.apply(LifecycleEvent::BeginExecution {
+                    function: inv.function,
+                })
+                .expect("initialized container can execute its invocation");
+            }
             self.events
                 .push(exec_done, EventKind::ExecComplete { container: id });
         } else {
             // Pure pre-warm: go idle and arm the keep-alive TTL.
             {
-                let c = self.pool.get_mut(id).expect("init target exists");
+                let mut c = self.pool.get_mut(id).expect("init target exists");
                 c.idle_since = self.now;
             }
             self.arm_idle_ttl(id);
@@ -594,7 +623,7 @@ impl<'a> Engine<'a> {
 
     fn handle_exec_complete(&mut self, id: ContainerId) {
         let inv = {
-            let c = self.pool.get_mut(id).expect("running container exists");
+            let mut c = self.pool.get_mut(id).expect("running container exists");
             let inv = c.assigned.take().expect("running container has invocation");
             let lang = c.init_language.expect("running container has language");
             c.finish_exec(lang).expect("running container completes");
@@ -653,7 +682,7 @@ impl<'a> Engine<'a> {
                 self.record_waste(view.memory, view.idle_since, self.now, IdleOutcome::Miss);
                 let new_mem = self.downgraded_footprint(&view);
                 {
-                    let c = self.pool.get_mut(id).expect("container exists");
+                    let mut c = self.pool.get_mut(id).expect("container exists");
                     c.apply(LifecycleEvent::Downgrade)
                         .expect("policy downgrades only above Bare");
                     c.idle_since = self.now;
@@ -684,11 +713,13 @@ impl<'a> Engine<'a> {
                     self.terminate_container(id);
                     return;
                 }
-                let c = self.pool.get_mut(id).expect("container exists");
-                c.bump_epoch();
-                c.idle_since = self.now;
-                let new_mem = c.memory + extra_mem;
-                c.packed = extra_functions;
+                let new_mem = {
+                    let mut c = self.pool.get_mut(id).expect("container exists");
+                    c.bump_epoch();
+                    c.idle_since = self.now;
+                    c.packed = extra_functions;
+                    c.memory + extra_mem
+                };
                 self.pool.resize(id, new_mem);
                 self.schedule_timeout(id, ttl);
             }
@@ -805,10 +836,7 @@ mod tests {
         ) -> Option<ReuseClass> {
             match c.layer {
                 Layer::User if c.owner == Some(f) => Some(ReuseClass::WarmUser),
-                Layer::Lang
-                    if self.share_layers
-                        && c.language == Some(ctx.profile(f).language) =>
-                {
+                Layer::Lang if self.share_layers && c.language == Some(ctx.profile(f).language) => {
                     Some(ReuseClass::SharedLang)
                 }
                 Layer::Bare if self.share_layers => Some(ReuseClass::SharedBare),
@@ -829,8 +857,14 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Python));
-        c.push(FunctionProfile::synthetic(FunctionId::new(0), Language::Python));
+        c.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Python,
+        ));
+        c.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Python,
+        ));
         c
     }
 
@@ -890,8 +924,7 @@ mod tests {
         assert_eq!(report.records.len(), 2);
         assert_eq!(report.records[1].start_type, StartType::SharedLang);
         let p1 = cat.profile(FunctionId::new(1));
-        let expected =
-            p1.transitions.l_u + p1.stages.user + p1.transitions.u_run;
+        let expected = p1.transitions.l_u + p1.stages.user + p1.transitions.u_run;
         assert_eq!(report.records[1].startup, expected);
     }
 

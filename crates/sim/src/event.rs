@@ -115,10 +115,27 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(t(30), EventKind::PrewarmFire { function: FunctionId::new(3) });
-        q.push(t(10), EventKind::PrewarmFire { function: FunctionId::new(1) });
-        q.push(t(20), EventKind::PrewarmFire { function: FunctionId::new(2) });
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.as_micros()).collect();
+        q.push(
+            t(30),
+            EventKind::PrewarmFire {
+                function: FunctionId::new(3),
+            },
+        );
+        q.push(
+            t(10),
+            EventKind::PrewarmFire {
+                function: FunctionId::new(1),
+            },
+        );
+        q.push(
+            t(20),
+            EventKind::PrewarmFire {
+                function: FunctionId::new(2),
+            },
+        );
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_micros())
+            .collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 
@@ -126,7 +143,12 @@ mod tests {
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
         for i in 0..5u32 {
-            q.push(t(100), EventKind::PrewarmFire { function: FunctionId::new(i) });
+            q.push(
+                t(100),
+                EventKind::PrewarmFire {
+                    function: FunctionId::new(i),
+                },
+            );
         }
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
@@ -140,11 +162,26 @@ mod tests {
     #[test]
     fn interleaved_push_pop_stays_ordered() {
         let mut q = EventQueue::new();
-        q.push(t(50), EventKind::PrewarmFire { function: FunctionId::new(0) });
-        q.push(t(10), EventKind::PrewarmFire { function: FunctionId::new(1) });
+        q.push(
+            t(50),
+            EventKind::PrewarmFire {
+                function: FunctionId::new(0),
+            },
+        );
+        q.push(
+            t(10),
+            EventKind::PrewarmFire {
+                function: FunctionId::new(1),
+            },
+        );
         let first = q.pop().unwrap();
         assert_eq!(first.time, t(10));
-        q.push(t(20), EventKind::PrewarmFire { function: FunctionId::new(2) });
+        q.push(
+            t(20),
+            EventKind::PrewarmFire {
+                function: FunctionId::new(2),
+            },
+        );
         assert_eq!(q.pop().unwrap().time, t(20));
         assert_eq!(q.pop().unwrap().time, t(50));
         assert!(q.is_empty());
@@ -154,7 +191,12 @@ mod tests {
     fn len_tracks_contents() {
         let mut q = EventQueue::new();
         assert_eq!(q.len(), 0);
-        q.push(t(1), EventKind::PrewarmFire { function: FunctionId::new(0) });
+        q.push(
+            t(1),
+            EventKind::PrewarmFire {
+                function: FunctionId::new(0),
+            },
+        );
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());

@@ -1,24 +1,189 @@
 //! The worker's container pool: deterministic container storage with
-//! exact memory accounting.
+//! exact memory accounting and hot-path lookup indices.
+//!
+//! Besides the primary id-ordered container map, the pool maintains a
+//! set of secondary indices (idle containers, idle `User` containers per
+//! owner, idle containers per installed language, attachable in-flight
+//! initializations per function, and an initializing count) so the
+//! engine's per-arrival work — reuse-candidate collection, availability
+//! checks, the Fig. 13 contention model, and eviction-victim
+//! enumeration — never scans the whole pool. The indices are kept in
+//! lockstep with container state: every mutable container access goes
+//! through the [`ContainerMut`] guard, which re-derives the container's
+//! index entries when it is dropped. All index structures are B-tree
+//! based and iterate in id order, so index-backed enumeration is
+//! *exactly* the order a linear scan of the primary map would produce —
+//! determinism of simulations is unchanged.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Deref, DerefMut};
 
+use rainbowcake_core::lifecycle::LifecycleState;
 use rainbowcake_core::mem::MemMb;
 use rainbowcake_core::policy::ContainerView;
-use rainbowcake_core::types::{ContainerId, FunctionId, Layer};
+use rainbowcake_core::time::Instant;
+use rainbowcake_core::types::{ContainerId, FunctionId, Language, Layer};
 
 use crate::container::Container;
+
+/// The index-relevant facets of one container, derived from its state.
+///
+/// A container is linked into each secondary index according to this
+/// key; comparing the key before and after a mutation tells the guard
+/// which indices to update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IndexKey {
+    /// Idle (reusable) right now.
+    idle: bool,
+    /// `Some(owner)` iff idle at `User` layer with an owner.
+    idle_user: Option<FunctionId>,
+    /// `Some(language)` iff idle with an installed language.
+    idle_lang: Option<Language>,
+    /// In the `Initializing` lifecycle state (drives the contention
+    /// model's concurrency count).
+    initializing: bool,
+    /// `Some((function, init_done_at))` iff an attachable in-flight
+    /// `User`-target initialization for that function.
+    attachable: Option<(FunctionId, Instant)>,
+}
+
+impl IndexKey {
+    fn of(c: &Container) -> IndexKey {
+        let idle = c.is_idle();
+        IndexKey {
+            idle,
+            idle_user: if idle && c.layer() == Some(Layer::User) {
+                c.owner()
+            } else {
+                None
+            },
+            idle_lang: if idle { c.language() } else { None },
+            initializing: matches!(c.state, LifecycleState::Initializing { .. }),
+            attachable: if c.is_attachable_init() && c.layer() == Some(Layer::User) {
+                c.init_for.map(|f| (f, c.init_done_at))
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// The secondary indices, maintained in lockstep with the container map.
+#[derive(Debug, Default)]
+struct PoolIndex {
+    /// All idle containers, in id order.
+    idle: BTreeSet<ContainerId>,
+    /// Idle `User` containers per owning function, in id order.
+    idle_user_by_fn: BTreeMap<FunctionId, BTreeSet<ContainerId>>,
+    /// Idle containers per installed language, in id order.
+    idle_by_lang: BTreeMap<Language, BTreeSet<ContainerId>>,
+    /// Attachable `User`-target initializations per function, ordered by
+    /// (completion time, id) so the first element is the `Load` target.
+    attachable_by_fn: BTreeMap<FunctionId, BTreeSet<(Instant, ContainerId)>>,
+    /// Containers currently in the `Initializing` state.
+    initializing: usize,
+}
+
+impl PoolIndex {
+    fn link(&mut self, id: ContainerId, key: &IndexKey) {
+        if key.idle {
+            self.idle.insert(id);
+        }
+        if let Some(f) = key.idle_user {
+            self.idle_user_by_fn.entry(f).or_default().insert(id);
+        }
+        if let Some(lang) = key.idle_lang {
+            self.idle_by_lang.entry(lang).or_default().insert(id);
+        }
+        if let Some((f, done)) = key.attachable {
+            self.attachable_by_fn
+                .entry(f)
+                .or_default()
+                .insert((done, id));
+        }
+        if key.initializing {
+            self.initializing += 1;
+        }
+    }
+
+    fn unlink(&mut self, id: ContainerId, key: &IndexKey) {
+        if key.idle {
+            self.idle.remove(&id);
+        }
+        if let Some(f) = key.idle_user {
+            if let Some(set) = self.idle_user_by_fn.get_mut(&f) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.idle_user_by_fn.remove(&f);
+                }
+            }
+        }
+        if let Some(lang) = key.idle_lang {
+            if let Some(set) = self.idle_by_lang.get_mut(&lang) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.idle_by_lang.remove(&lang);
+                }
+            }
+        }
+        if let Some((f, done)) = key.attachable {
+            if let Some(set) = self.attachable_by_fn.get_mut(&f) {
+                set.remove(&(done, id));
+                if set.is_empty() {
+                    self.attachable_by_fn.remove(&f);
+                }
+            }
+        }
+        if key.initializing {
+            self.initializing -= 1;
+        }
+    }
+}
+
+/// Exclusive access to one container that re-derives the pool's indices
+/// for it on drop, keeping them in lockstep with any state change.
+#[derive(Debug)]
+pub struct ContainerMut<'p> {
+    container: &'p mut Container,
+    index: &'p mut PoolIndex,
+    old_key: IndexKey,
+}
+
+impl Deref for ContainerMut<'_> {
+    type Target = Container;
+    fn deref(&self) -> &Container {
+        self.container
+    }
+}
+
+impl DerefMut for ContainerMut<'_> {
+    fn deref_mut(&mut self) -> &mut Container {
+        self.container
+    }
+}
+
+impl Drop for ContainerMut<'_> {
+    fn drop(&mut self) {
+        let new_key = IndexKey::of(self.container);
+        if new_key != self.old_key {
+            self.index.unlink(self.container.id, &self.old_key);
+            self.index.link(self.container.id, &new_key);
+        }
+    }
+}
 
 /// The container pool of one worker node.
 ///
 /// Containers are stored in a `BTreeMap` so every iteration order (and
-/// therefore every simulation) is deterministic.
+/// therefore every simulation) is deterministic; the secondary indices
+/// preserve that order.
 #[derive(Debug)]
 pub struct Pool {
     capacity: MemMb,
     used: MemMb,
     containers: BTreeMap<ContainerId, Container>,
     next_id: u64,
+    index: PoolIndex,
 }
 
 impl Pool {
@@ -29,6 +194,7 @@ impl Pool {
             used: MemMb::ZERO,
             containers: BTreeMap::new(),
             next_id: 0,
+            index: PoolIndex::default(),
         }
     }
 
@@ -69,8 +235,11 @@ impl Pool {
             self.capacity
         );
         self.used += container.memory;
-        let prev = self.containers.insert(container.id, container);
+        let id = container.id;
+        let key = IndexKey::of(&container);
+        let prev = self.containers.insert(id, container);
         assert!(prev.is_none(), "duplicate container id");
+        self.index.link(id, &key);
     }
 
     /// Removes a container, releasing its memory.
@@ -80,6 +249,7 @@ impl Pool {
     /// Panics if the id is unknown.
     pub fn remove(&mut self, id: ContainerId) -> Container {
         let c = self.containers.remove(&id).expect("unknown container");
+        self.index.unlink(id, &IndexKey::of(&c));
         self.used -= c.memory;
         c
     }
@@ -89,13 +259,20 @@ impl Pool {
         self.containers.get(&id)
     }
 
-    /// Exclusive access to a container.
-    pub fn get_mut(&mut self, id: ContainerId) -> Option<&mut Container> {
-        self.containers.get_mut(&id)
+    /// Exclusive access to a container; the returned guard re-indexes
+    /// the container when dropped.
+    pub fn get_mut(&mut self, id: ContainerId) -> Option<ContainerMut<'_>> {
+        let container = self.containers.get_mut(&id)?;
+        let old_key = IndexKey::of(container);
+        Some(ContainerMut {
+            container,
+            index: &mut self.index,
+            old_key,
+        })
     }
 
     /// Changes a container's memory footprint, keeping the pool total
-    /// exact.
+    /// exact. Memory is not indexed, so no re-indexing is needed.
     ///
     /// # Panics
     ///
@@ -132,49 +309,96 @@ impl Pool {
         self.containers.values()
     }
 
+    /// Iterates over idle containers in id order (index-backed).
+    pub fn idle_containers(&self) -> impl Iterator<Item = &Container> {
+        self.index.idle.iter().map(|id| &self.containers[id])
+    }
+
+    /// Ids of all idle containers, in id order (index-backed).
+    pub fn idle_ids(&self) -> impl Iterator<Item = ContainerId> + '_ {
+        self.index.idle.iter().copied()
+    }
+
+    /// Ids of idle `User` containers owned by `f`, in id order
+    /// (index-backed).
+    pub fn idle_user_ids(&self, f: FunctionId) -> impl Iterator<Item = ContainerId> + '_ {
+        self.index
+            .idle_user_by_fn
+            .get(&f)
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
+    /// Ids of idle containers with `language` installed, in id order
+    /// (index-backed).
+    pub fn idle_language_ids(&self, language: Language) -> impl Iterator<Item = ContainerId> + '_ {
+        self.index
+            .idle_by_lang
+            .get(&language)
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
     /// Views of all idle containers, optionally excluding one id, in id
     /// order.
     pub fn idle_views(&self, exclude: Option<ContainerId>) -> Vec<ContainerView> {
-        self.containers
-            .values()
-            .filter(|c| c.is_idle() && Some(c.id) != exclude)
-            .map(|c| c.view())
-            .collect()
+        let mut out = Vec::new();
+        self.idle_views_into(exclude, &mut out);
+        out
+    }
+
+    /// Fills `out` with views of all idle containers, optionally
+    /// excluding one id, in id order. Clears `out` first; the buffer's
+    /// capacity is reused across calls.
+    ///
+    /// When idle containers are a small fraction of the pool (busy
+    /// workers, invocation storms) the idle index is walked with one
+    /// lookup per candidate; when the pool is mostly idle a sequential
+    /// scan of the primary map is cheaper than per-id lookups. Both
+    /// paths produce the same id-ordered result, and the choice depends
+    /// only on deterministic pool state, so simulations are unaffected.
+    pub fn idle_views_into(&self, exclude: Option<ContainerId>, out: &mut Vec<ContainerView>) {
+        out.clear();
+        let idle = self.index.idle.len();
+        if idle * 4 < self.containers.len() {
+            out.extend(
+                self.index
+                    .idle
+                    .iter()
+                    .filter(|&&id| Some(id) != exclude)
+                    .map(|id| self.containers[id].view()),
+            );
+        } else {
+            out.extend(
+                self.containers
+                    .values()
+                    .filter(|c| c.is_idle() && Some(c.id) != exclude)
+                    .map(|c| c.view()),
+            );
+        }
     }
 
     /// Whether an idle `User` container owned by `f` exists (Alg. 1's
-    /// availability check).
+    /// availability check). Index-backed: one map lookup.
     pub fn has_idle_user(&self, f: FunctionId) -> bool {
-        self.containers
-            .values()
-            .any(|c| c.is_idle() && c.layer() == Some(Layer::User) && c.owner() == Some(f))
+        self.index.idle_user_by_fn.contains_key(&f)
     }
 
     /// Number of containers currently initializing (drives the Fig. 13
-    /// contention model).
+    /// contention model). Index-backed: O(1).
     pub fn initializing_count(&self) -> usize {
-        self.containers
-            .values()
-            .filter(|c| {
-                matches!(
-                    c.state,
-                    rainbowcake_core::lifecycle::LifecycleState::Initializing { .. }
-                )
-            })
-            .count()
+        self.index.initializing
     }
 
     /// The attachable in-flight initialization for `f` that completes
-    /// earliest, if any (the `Load` reuse path).
+    /// earliest, if any (the `Load` reuse path). Index-backed: the first
+    /// element of the per-function (completion, id) set.
     pub fn earliest_attachable_init(&self, f: FunctionId) -> Option<&Container> {
-        self.containers
-            .values()
-            .filter(|c| {
-                c.is_attachable_init()
-                    && c.init_for == Some(f)
-                    && c.layer() == Some(Layer::User)
-            })
-            .min_by_key(|c| (c.init_done_at, c.id))
+        self.index
+            .attachable_by_fn
+            .get(&f)
+            .and_then(|set| set.first())
+            .map(|&(_, id)| &self.containers[&id])
     }
 }
 
@@ -270,5 +494,81 @@ mod tests {
         let a = p.next_id();
         let b = p.next_id();
         assert!(a < b);
+    }
+
+    #[test]
+    fn guard_keeps_indices_in_lockstep() {
+        let mut p = Pool::new(MemMb::new(1_000));
+        p.insert(container(0, 100));
+        assert_eq!(p.initializing_count(), 1);
+        assert!(p.earliest_attachable_init(FunctionId::new(0)).is_some());
+        assert!(!p.has_idle_user(FunctionId::new(0)));
+
+        // Completing initialization through the guard moves the
+        // container from the attachable/initializing indices to the idle
+        // ones without any explicit re-index call.
+        {
+            let mut c = p.get_mut(ContainerId::new(0)).unwrap();
+            c.apply(LifecycleEvent::InitComplete {
+                language: Some(Language::Python),
+                owner: Some(FunctionId::new(0)),
+            })
+            .unwrap();
+        }
+        assert_eq!(p.initializing_count(), 0);
+        assert!(p.earliest_attachable_init(FunctionId::new(0)).is_none());
+        assert!(p.has_idle_user(FunctionId::new(0)));
+        assert_eq!(p.idle_ids().collect::<Vec<_>>(), vec![ContainerId::new(0)]);
+        assert_eq!(
+            p.idle_user_ids(FunctionId::new(0)).collect::<Vec<_>>(),
+            vec![ContainerId::new(0)]
+        );
+        assert_eq!(
+            p.idle_language_ids(Language::Python).collect::<Vec<_>>(),
+            vec![ContainerId::new(0)]
+        );
+
+        // Removal unlinks everywhere.
+        p.remove(ContainerId::new(0));
+        assert!(!p.has_idle_user(FunctionId::new(0)));
+        assert_eq!(p.idle_ids().count(), 0);
+        assert_eq!(p.idle_language_ids(Language::Python).count(), 0);
+    }
+
+    #[test]
+    fn idle_views_into_reuses_buffer() {
+        let mut p = Pool::new(MemMb::new(1_000));
+        p.insert(idle_container(0, 100));
+        p.insert(idle_container(1, 100));
+        let mut buf = Vec::new();
+        p.idle_views_into(None, &mut buf);
+        assert_eq!(buf.len(), 2);
+        p.idle_views_into(Some(ContainerId::new(0)), &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].id, ContainerId::new(1));
+    }
+
+    #[test]
+    fn attachable_index_respects_assignment() {
+        use crate::container::AssignedInvocation;
+        use rainbowcake_metrics::StartType;
+
+        let mut p = Pool::new(MemMb::new(1_000));
+        p.insert(container(0, 100));
+        // Binding an invocation makes the init non-attachable.
+        {
+            let mut c = p.get_mut(ContainerId::new(0)).unwrap();
+            c.assigned = Some(AssignedInvocation {
+                function: FunctionId::new(0),
+                arrival: Instant::ZERO,
+                admit: Instant::ZERO,
+                startup: rainbowcake_core::time::Micros::ZERO,
+                exec: rainbowcake_core::time::Micros::ZERO,
+                start_type: StartType::Attached,
+            });
+        }
+        assert!(p.earliest_attachable_init(FunctionId::new(0)).is_none());
+        // Still initializing, though.
+        assert_eq!(p.initializing_count(), 1);
     }
 }

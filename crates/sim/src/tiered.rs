@@ -189,11 +189,7 @@ impl TieredCache {
                 // Promote only if DRAM space can actually be made; the
                 // entry keeps its NVM slot while the copy is in flight,
                 // so demoted DRAM victims must find their own room.
-                let priority = self
-                    .entries
-                    .get(&key)
-                    .expect("entry exists")
-                    .priority();
+                let priority = self.entries.get(&key).expect("entry exists").priority();
                 if self.make_room(Tier::Dram, size, priority) {
                     let mut old = self.entries.remove(&key).expect("entry exists");
                     self.nvm_used -= size;
@@ -300,7 +296,11 @@ mod tests {
     fn overflow_demotes_lowest_priority_to_nvm() {
         let mut c = small_cache();
         // Low priority: saves little per MB.
-        c.insert(key(0, Layer::User), MemMb::new(200), Micros::from_millis(100));
+        c.insert(
+            key(0, Layer::User),
+            MemMb::new(200),
+            Micros::from_millis(100),
+        );
         // High priority: saves a lot per MB; DRAM (300) can't hold both.
         c.insert(key(1, Layer::User), MemMb::new(200), Micros::from_secs(5));
         match c.lookup(key(1, Layer::User)) {
@@ -371,7 +371,11 @@ mod tests {
             nvm_capacity: MemMb::new(100),
             nvm_mb_per_ms: 2.0,
         });
-        c.insert(key(0, Layer::Lang), MemMb::new(100), Micros::from_millis(50));
+        c.insert(
+            key(0, Layer::Lang),
+            MemMb::new(100),
+            Micros::from_millis(50),
+        );
         c.insert(key(1, Layer::Lang), MemMb::new(100), Micros::from_secs(4));
         // The valuable entry holds DRAM; the weak one was demoted and
         // then dropped from the full NVM... or survives there.

@@ -48,7 +48,10 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 ///
 /// Panics in debug builds if `shape` or `scale` is not positive.
 pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
-    debug_assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+    debug_assert!(
+        shape > 0.0 && scale > 0.0,
+        "gamma parameters must be positive"
+    );
     if shape < 1.0 {
         // Gamma(a) = Gamma(a + 1) * U^(1/a).
         let boost = uniform_open(rng).powf(1.0 / shape);
@@ -125,8 +128,8 @@ mod tests {
 
     fn moments(samples: &[f64]) -> (f64, f64) {
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
         (mean, var)
     }
 
@@ -180,7 +183,9 @@ mod tests {
     fn poisson_small_mean() {
         let mut rng = StdRng::seed_from_u64(6);
         let mean_param = 3.2;
-        let samples: Vec<f64> = (0..N).map(|_| poisson(&mut rng, mean_param) as f64).collect();
+        let samples: Vec<f64> = (0..N)
+            .map(|_| poisson(&mut rng, mean_param) as f64)
+            .collect();
         let (mean, var) = moments(&samples);
         assert!((mean - mean_param).abs() < 0.05, "mean {mean}");
         assert!((var - mean_param).abs() < 0.2, "var {var}");
@@ -190,7 +195,9 @@ mod tests {
     fn poisson_large_mean_uses_normal_approx() {
         let mut rng = StdRng::seed_from_u64(7);
         let mean_param = 120.0;
-        let samples: Vec<f64> = (0..N).map(|_| poisson(&mut rng, mean_param) as f64).collect();
+        let samples: Vec<f64> = (0..N)
+            .map(|_| poisson(&mut rng, mean_param) as f64)
+            .collect();
         let (mean, var) = moments(&samples);
         assert!((mean - mean_param).abs() < 0.5, "mean {mean}");
         assert!((var - mean_param).abs() < 6.0, "var {var}");
@@ -206,8 +213,9 @@ mod tests {
     fn lognormal_moments() {
         let mut rng = StdRng::seed_from_u64(9);
         let (target_mean, cv) = (5.0, 0.4);
-        let samples: Vec<f64> =
-            (0..N).map(|_| lognormal_mean_cv(&mut rng, target_mean, cv)).collect();
+        let samples: Vec<f64> = (0..N)
+            .map(|_| lognormal_mean_cv(&mut rng, target_mean, cv))
+            .collect();
         let (mean, var) = moments(&samples);
         assert!((mean - target_mean).abs() < 0.1, "mean {mean}");
         let target_var = (target_mean * cv).powi(2);
@@ -224,7 +232,9 @@ mod tests {
     fn sampling_is_seed_deterministic() {
         let draw = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
-            (0..50).map(|_| gamma(&mut rng, 2.0, 1.0)).collect::<Vec<_>>()
+            (0..50)
+                .map(|_| gamma(&mut rng, 2.0, 1.0))
+                .collect::<Vec<_>>()
         };
         assert_eq!(draw(42), draw(42));
         assert_ne!(draw(42), draw(43));

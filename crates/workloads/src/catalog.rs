@@ -71,28 +71,188 @@ pub const TRANSITIONS: TransitionOverheads = TransitionOverheads {
 /// Fig. 2 (Node.js, then Python, then Java).
 pub const SPECS: [FunctionSpec; 20] = [
     // Node.js
-    FunctionSpec { name: "AC-Js", language: Language::NodeJs, domain: Domain::WebApp, user_ms: 180, user_mb: 70, exec_ms: 120, exec_cv: 0.20 },
-    FunctionSpec { name: "DH-Js", language: Language::NodeJs, domain: Domain::WebApp, user_ms: 210, user_mb: 78, exec_ms: 150, exec_cv: 0.20 },
-    FunctionSpec { name: "UL-Js", language: Language::NodeJs, domain: Domain::WebApp, user_ms: 260, user_mb: 85, exec_ms: 300, exec_cv: 0.25 },
-    FunctionSpec { name: "IS-Js", language: Language::NodeJs, domain: Domain::Multimedia, user_ms: 340, user_mb: 120, exec_ms: 450, exec_cv: 0.25 },
-    FunctionSpec { name: "TN-Js", language: Language::NodeJs, domain: Domain::Multimedia, user_ms: 380, user_mb: 130, exec_ms: 500, exec_cv: 0.25 },
-    FunctionSpec { name: "OI-Js", language: Language::NodeJs, domain: Domain::Multimedia, user_ms: 900, user_mb: 210, exec_ms: 1_800, exec_cv: 0.30 },
+    FunctionSpec {
+        name: "AC-Js",
+        language: Language::NodeJs,
+        domain: Domain::WebApp,
+        user_ms: 180,
+        user_mb: 70,
+        exec_ms: 120,
+        exec_cv: 0.20,
+    },
+    FunctionSpec {
+        name: "DH-Js",
+        language: Language::NodeJs,
+        domain: Domain::WebApp,
+        user_ms: 210,
+        user_mb: 78,
+        exec_ms: 150,
+        exec_cv: 0.20,
+    },
+    FunctionSpec {
+        name: "UL-Js",
+        language: Language::NodeJs,
+        domain: Domain::WebApp,
+        user_ms: 260,
+        user_mb: 85,
+        exec_ms: 300,
+        exec_cv: 0.25,
+    },
+    FunctionSpec {
+        name: "IS-Js",
+        language: Language::NodeJs,
+        domain: Domain::Multimedia,
+        user_ms: 340,
+        user_mb: 120,
+        exec_ms: 450,
+        exec_cv: 0.25,
+    },
+    FunctionSpec {
+        name: "TN-Js",
+        language: Language::NodeJs,
+        domain: Domain::Multimedia,
+        user_ms: 380,
+        user_mb: 130,
+        exec_ms: 500,
+        exec_cv: 0.25,
+    },
+    FunctionSpec {
+        name: "OI-Js",
+        language: Language::NodeJs,
+        domain: Domain::Multimedia,
+        user_ms: 900,
+        user_mb: 210,
+        exec_ms: 1_800,
+        exec_cv: 0.30,
+    },
     // Python
-    FunctionSpec { name: "DV-Py", language: Language::Python, domain: Domain::ScientificComputing, user_ms: 800, user_mb: 180, exec_ms: 2_500, exec_cv: 0.25 },
-    FunctionSpec { name: "GB-Py", language: Language::Python, domain: Domain::ScientificComputing, user_ms: 450, user_mb: 140, exec_ms: 900, exec_cv: 0.20 },
-    FunctionSpec { name: "GM-Py", language: Language::Python, domain: Domain::ScientificComputing, user_ms: 460, user_mb: 145, exec_ms: 950, exec_cv: 0.20 },
-    FunctionSpec { name: "GP-Py", language: Language::Python, domain: Domain::ScientificComputing, user_ms: 480, user_mb: 150, exec_ms: 1_100, exec_cv: 0.20 },
-    FunctionSpec { name: "IR-Py", language: Language::Python, domain: Domain::MachineLearning, user_ms: 3_200, user_mb: 420, exec_ms: 2_200, exec_cv: 0.25 },
-    FunctionSpec { name: "SA-Py", language: Language::Python, domain: Domain::MachineLearning, user_ms: 1_500, user_mb: 300, exec_ms: 1_200, exec_cv: 0.25 },
-    FunctionSpec { name: "FC-Py", language: Language::Python, domain: Domain::WebApp, user_ms: 380, user_mb: 130, exec_ms: 1_500, exec_cv: 0.30 },
-    FunctionSpec { name: "MD-Py", language: Language::Python, domain: Domain::WebApp, user_ms: 300, user_mb: 110, exec_ms: 200, exec_cv: 0.20 },
-    FunctionSpec { name: "VP-Py", language: Language::Python, domain: Domain::Multimedia, user_ms: 1_200, user_mb: 260, exec_ms: 6_000, exec_cv: 0.35 },
+    FunctionSpec {
+        name: "DV-Py",
+        language: Language::Python,
+        domain: Domain::ScientificComputing,
+        user_ms: 800,
+        user_mb: 180,
+        exec_ms: 2_500,
+        exec_cv: 0.25,
+    },
+    FunctionSpec {
+        name: "GB-Py",
+        language: Language::Python,
+        domain: Domain::ScientificComputing,
+        user_ms: 450,
+        user_mb: 140,
+        exec_ms: 900,
+        exec_cv: 0.20,
+    },
+    FunctionSpec {
+        name: "GM-Py",
+        language: Language::Python,
+        domain: Domain::ScientificComputing,
+        user_ms: 460,
+        user_mb: 145,
+        exec_ms: 950,
+        exec_cv: 0.20,
+    },
+    FunctionSpec {
+        name: "GP-Py",
+        language: Language::Python,
+        domain: Domain::ScientificComputing,
+        user_ms: 480,
+        user_mb: 150,
+        exec_ms: 1_100,
+        exec_cv: 0.20,
+    },
+    FunctionSpec {
+        name: "IR-Py",
+        language: Language::Python,
+        domain: Domain::MachineLearning,
+        user_ms: 3_200,
+        user_mb: 420,
+        exec_ms: 2_200,
+        exec_cv: 0.25,
+    },
+    FunctionSpec {
+        name: "SA-Py",
+        language: Language::Python,
+        domain: Domain::MachineLearning,
+        user_ms: 1_500,
+        user_mb: 300,
+        exec_ms: 1_200,
+        exec_cv: 0.25,
+    },
+    FunctionSpec {
+        name: "FC-Py",
+        language: Language::Python,
+        domain: Domain::WebApp,
+        user_ms: 380,
+        user_mb: 130,
+        exec_ms: 1_500,
+        exec_cv: 0.30,
+    },
+    FunctionSpec {
+        name: "MD-Py",
+        language: Language::Python,
+        domain: Domain::WebApp,
+        user_ms: 300,
+        user_mb: 110,
+        exec_ms: 200,
+        exec_cv: 0.20,
+    },
+    FunctionSpec {
+        name: "VP-Py",
+        language: Language::Python,
+        domain: Domain::Multimedia,
+        user_ms: 1_200,
+        user_mb: 260,
+        exec_ms: 6_000,
+        exec_cv: 0.35,
+    },
     // Java
-    FunctionSpec { name: "DT-Java", language: Language::Java, domain: Domain::DataAnalysis, user_ms: 1_400, user_mb: 310, exec_ms: 1_500, exec_cv: 0.20 },
-    FunctionSpec { name: "DL-Java", language: Language::Java, domain: Domain::DataAnalysis, user_ms: 1_300, user_mb: 300, exec_ms: 1_800, exec_cv: 0.20 },
-    FunctionSpec { name: "DQ-Java", language: Language::Java, domain: Domain::DataAnalysis, user_ms: 1_500, user_mb: 320, exec_ms: 1_300, exec_cv: 0.20 },
-    FunctionSpec { name: "DS-Java", language: Language::Java, domain: Domain::DataAnalysis, user_ms: 1_350, user_mb: 305, exec_ms: 1_600, exec_cv: 0.20 },
-    FunctionSpec { name: "DG-Java", language: Language::Java, domain: Domain::DataAnalysis, user_ms: 1_450, user_mb: 315, exec_ms: 1_700, exec_cv: 0.20 },
+    FunctionSpec {
+        name: "DT-Java",
+        language: Language::Java,
+        domain: Domain::DataAnalysis,
+        user_ms: 1_400,
+        user_mb: 310,
+        exec_ms: 1_500,
+        exec_cv: 0.20,
+    },
+    FunctionSpec {
+        name: "DL-Java",
+        language: Language::Java,
+        domain: Domain::DataAnalysis,
+        user_ms: 1_300,
+        user_mb: 300,
+        exec_ms: 1_800,
+        exec_cv: 0.20,
+    },
+    FunctionSpec {
+        name: "DQ-Java",
+        language: Language::Java,
+        domain: Domain::DataAnalysis,
+        user_ms: 1_500,
+        user_mb: 320,
+        exec_ms: 1_300,
+        exec_cv: 0.20,
+    },
+    FunctionSpec {
+        name: "DS-Java",
+        language: Language::Java,
+        domain: Domain::DataAnalysis,
+        user_ms: 1_350,
+        user_mb: 305,
+        exec_ms: 1_600,
+        exec_cv: 0.20,
+    },
+    FunctionSpec {
+        name: "DG-Java",
+        language: Language::Java,
+        domain: Domain::DataAnalysis,
+        user_ms: 1_450,
+        user_mb: 315,
+        exec_ms: 1_700,
+        exec_cv: 0.20,
+    },
 ];
 
 impl FunctionSpec {
@@ -190,8 +350,16 @@ mod tests {
     fn memory_monotone_across_layers() {
         let c = paper_catalog();
         for p in &c {
-            assert!(p.memory_at(Layer::Bare) < p.memory_at(Layer::Lang), "{}", p.name);
-            assert!(p.memory_at(Layer::Lang) < p.memory_at(Layer::User), "{}", p.name);
+            assert!(
+                p.memory_at(Layer::Bare) < p.memory_at(Layer::Lang),
+                "{}",
+                p.name
+            );
+            assert!(
+                p.memory_at(Layer::Lang) < p.memory_at(Layer::User),
+                "{}",
+                p.name
+            );
         }
     }
 
@@ -199,10 +367,7 @@ mod tests {
     fn ir_py_is_heaviest() {
         // Image Recognition carries the ML stack: heaviest user layer.
         let c = paper_catalog();
-        let heaviest = c
-            .iter()
-            .max_by_key(|p| p.memory_at(Layer::User))
-            .unwrap();
+        let heaviest = c.iter().max_by_key(|p| p.memory_at(Layer::User)).unwrap();
         assert_eq!(heaviest.name, "IR-Py");
     }
 

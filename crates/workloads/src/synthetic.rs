@@ -80,7 +80,11 @@ mod tests {
         let p20 = c.profile(FunctionId::new(20));
         assert_ne!(p0.stages.user, p20.stages.user);
         for p in &c {
-            assert!(p.memory_at(Layer::Lang) < p.memory_at(Layer::User), "{}", p.name);
+            assert!(
+                p.memory_at(Layer::Lang) < p.memory_at(Layer::User),
+                "{}",
+                p.name
+            );
             assert!(p.stages.user > Micros::ZERO);
         }
     }

@@ -12,7 +12,10 @@ use rainbowcake::prelude::*;
 fn main() -> Result<(), rainbowcake::core::error::ConfigError> {
     let catalog = paper_catalog();
     let trace = cv_trace(catalog.len(), &CvTraceConfig::paper(4.0, 11));
-    println!("memory-budget sweep on a 1-hour trace ({} invocations)\n", trace.len());
+    println!(
+        "memory-budget sweep on a 1-hour trace ({} invocations)\n",
+        trace.len()
+    );
 
     println!(
         "{:>8} {:>16} {:>16} {:>16}",

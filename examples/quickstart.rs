@@ -35,7 +35,10 @@ fn main() -> Result<(), rainbowcake::core::error::ConfigError> {
     println!(
         "average startup: {:.1} ms (p99 E2E: {:.2} s)",
         report.avg_startup().as_millis_f64(),
-        report.e2e_percentile(99.0).expect("non-empty run").as_secs_f64()
+        report
+            .e2e_percentile(99.0)
+            .expect("non-empty run")
+            .as_secs_f64()
     );
     println!(
         "cold starts: {} ({:.1}% warm rate)",

@@ -1,0 +1,40 @@
+//! End-to-end determinism of the parallel experiment executor: running
+//! the full policy suite through the thread-pool fan-out must produce
+//! reports that are **byte-identical** (via the deterministic JSON
+//! encoding) to running the same experiments sequentially, at any
+//! thread count.
+
+use rainbowcake_bench::{parallel, Testbed};
+
+/// Serializes every report of a run set to its exact JSON bytes.
+fn fingerprints(reports: &[rainbowcake_metrics::RunReport]) -> Vec<String> {
+    reports.iter().map(|r| r.to_json()).collect()
+}
+
+#[test]
+fn parallel_run_all_is_byte_identical_to_sequential() {
+    let bed = Testbed::paper_hours(1);
+    let sequential = fingerprints(&bed.run_all_sequential());
+    // run_all picks its thread count from the environment/cores; also
+    // pin a few explicit counts via the executor directly.
+    assert_eq!(fingerprints(&bed.run_all()), sequential);
+    for threads in [2, 3, 8] {
+        let reports = parallel::run_jobs_on(
+            threads,
+            rainbowcake_bench::BASELINE_NAMES
+                .iter()
+                .map(|&name| {
+                    let bed = &bed;
+                    move || bed.run(name)
+                })
+                .collect(),
+        );
+        assert_eq!(fingerprints(&reports), sequential, "{threads} threads");
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_identical() {
+    let bed = Testbed::paper_hours(1);
+    assert_eq!(fingerprints(&bed.run_all()), fingerprints(&bed.run_all()));
+}

@@ -14,9 +14,7 @@ use rainbowcake::core::time::{Instant, Micros};
 use rainbowcake::core::types::{FunctionId, Language, Layer};
 use rainbowcake::metrics::percentile::percentile;
 use rainbowcake::metrics::{IdleOutcome, WasteTracker};
-use rainbowcake::prelude::{
-    run, Arrival, OpenWhiskDefault, RainbowCake, SimConfig, Trace,
-};
+use rainbowcake::prelude::{run, Arrival, OpenWhiskDefault, RainbowCake, SimConfig, Trace};
 use rainbowcake::trace::replay::expand_bucket;
 use rainbowcake::trace::samplers;
 use rainbowcake::workloads::paper_catalog;
@@ -315,6 +313,87 @@ proptest! {
     }
 }
 
+// ---------------- pool indices ----------------
+
+/// Asserts every index-backed pool accessor agrees with a linear scan
+/// of the primary container map: same candidate set, same (id-ordered)
+/// deterministic order.
+fn assert_pool_indices_match_scan(pool: &rainbowcake::sim::pool::Pool) {
+    use rainbowcake::sim::container::Container;
+
+    let scan: Vec<&Container> = pool.iter().collect();
+
+    // Idle enumeration (ids, containers, and both view paths).
+    let scan_idle: Vec<_> = scan.iter().filter(|c| c.is_idle()).map(|c| c.id).collect();
+    assert_eq!(pool.idle_ids().collect::<Vec<_>>(), scan_idle);
+    assert_eq!(
+        pool.idle_containers().map(|c| c.id).collect::<Vec<_>>(),
+        scan_idle
+    );
+    let scan_views: Vec<_> = scan
+        .iter()
+        .filter(|c| c.is_idle())
+        .map(|c| c.view())
+        .collect();
+    assert_eq!(pool.idle_views(None), scan_views);
+    if let Some(&first) = scan_idle.first() {
+        let excluded: Vec<_> = scan_views
+            .iter()
+            .filter(|v| v.id != first)
+            .cloned()
+            .collect();
+        assert_eq!(pool.idle_views(Some(first)), excluded);
+    }
+
+    // Per-function idle User containers and the availability check.
+    for f in (0..4).map(FunctionId::new) {
+        let expect: Vec<_> = scan
+            .iter()
+            .filter(|c| c.is_idle() && c.layer() == Some(Layer::User) && c.owner() == Some(f))
+            .map(|c| c.id)
+            .collect();
+        assert_eq!(pool.idle_user_ids(f).collect::<Vec<_>>(), expect);
+        assert_eq!(pool.has_idle_user(f), !expect.is_empty());
+    }
+
+    // Per-language idle containers.
+    for lang in [Language::NodeJs, Language::Python, Language::Java] {
+        let expect: Vec<_> = scan
+            .iter()
+            .filter(|c| c.is_idle() && c.language() == Some(lang))
+            .map(|c| c.id)
+            .collect();
+        assert_eq!(pool.idle_language_ids(lang).collect::<Vec<_>>(), expect);
+    }
+
+    // Initializing count (the contention model's concurrency input).
+    let initializing = scan
+        .iter()
+        .filter(|c| {
+            matches!(
+                c.state,
+                rainbowcake::core::lifecycle::LifecycleState::Initializing { .. }
+            )
+        })
+        .count();
+    assert_eq!(pool.initializing_count(), initializing);
+
+    // Earliest attachable in-flight init per function (the Load path).
+    for f in (0..4).map(FunctionId::new) {
+        let expect = scan
+            .iter()
+            .filter(|c| {
+                c.is_attachable_init() && c.layer() == Some(Layer::User) && c.init_for == Some(f)
+            })
+            .map(|c| (c.init_done_at, c.id))
+            .min();
+        assert_eq!(
+            pool.earliest_attachable_init(f).map(|c| c.id),
+            expect.map(|(_, id)| id)
+        );
+    }
+}
+
 // Whole mini-simulations under proptest get fewer cases: they are
 // comparatively expensive.
 proptest! {
@@ -356,6 +435,103 @@ proptest! {
                 prop_assert_eq!(r.e2e(), r.queue + r.startup + r.exec);
             }
             prop_assert!(report.total_waste().value() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pool_indices_always_agree_with_linear_scan(
+        ops in prop::collection::vec((0u8..7, any::<u64>(), any::<u64>()), 1..80),
+    ) {
+        use rainbowcake::core::lifecycle::LifecycleEvent;
+        use rainbowcake::sim::container::{AssignedInvocation, Container};
+        use rainbowcake::sim::pool::Pool;
+
+        let languages = [Language::NodeJs, Language::Python, Language::Java];
+        let mut pool = Pool::new(MemMb::new(1_000_000));
+        let mut clock = 0u64;
+        for (op, a, b) in ops {
+            clock += 1;
+            let now = Instant::from_micros(clock * 1_000);
+            // Pick an existing container by index for mutation ops.
+            let nth_id = |pool: &Pool, k: u64| {
+                let n = pool.len();
+                (n > 0).then(|| pool.iter().nth(k as usize % n).unwrap().id)
+            };
+            match op {
+                // Insert a fresh initializing container toward a random
+                // layer, for a random function.
+                0 | 1 => {
+                    let target = [Layer::Bare, Layer::Lang, Layer::User][a as usize % 3];
+                    let f = FunctionId::new((b % 4) as u32);
+                    let language = (target != Layer::Bare)
+                        .then(|| languages[(a ^ b) as usize % 3]);
+                    let id = pool.next_id();
+                    pool.insert(Container::new_initializing(
+                        id,
+                        now,
+                        target,
+                        f,
+                        language,
+                        MemMb::new(1 + b % 50),
+                        now + Micros::from_millis(1 + a % 500),
+                    ));
+                }
+                // Complete an in-flight initialization.
+                2 => {
+                    if let Some(id) = nth_id(&pool, a) {
+                        let mut c = pool.get_mut(id).unwrap();
+                        let owner = (c.layer() == Some(Layer::User))
+                            .then_some(c.init_for)
+                            .flatten();
+                        let language = c.init_language;
+                        let _ = c.apply(LifecycleEvent::InitComplete { language, owner });
+                    }
+                }
+                // Begin and finish executions, downgrade idle layers.
+                3 => {
+                    if let Some(id) = nth_id(&pool, a) {
+                        let mut c = pool.get_mut(id).unwrap();
+                        let f = c.owner().or(c.init_for).unwrap_or(FunctionId::new(0));
+                        let _ = c.apply(LifecycleEvent::BeginExecution { function: f });
+                    }
+                }
+                4 => {
+                    if let Some(id) = nth_id(&pool, a) {
+                        let mut c = pool.get_mut(id).unwrap();
+                        let lang = languages[b as usize % 3];
+                        if c.finish_exec(lang).is_ok() {
+                            c.idle_since = now;
+                        } else {
+                            let _ = c.apply(LifecycleEvent::Downgrade);
+                        }
+                    }
+                }
+                // Bind an invocation to an attachable init (leaves the
+                // Load index, stays in the initializing count).
+                5 => {
+                    if let Some(id) = nth_id(&pool, a) {
+                        let mut c = pool.get_mut(id).unwrap();
+                        if c.is_attachable_init() {
+                            let f = c.init_for.unwrap_or(FunctionId::new(0));
+                            c.assigned = Some(AssignedInvocation {
+                                function: f,
+                                arrival: now,
+                                admit: now,
+                                startup: Micros::ZERO,
+                                exec: Micros::from_millis(1),
+                                start_type: rainbowcake::prelude::StartType::Attached,
+                            });
+                        }
+                    }
+                }
+                // Remove a container outright.
+                _ => {
+                    if let Some(id) = nth_id(&pool, a) {
+                        pool.remove(id);
+                    }
+                }
+            }
+            assert_pool_indices_match_scan(&pool);
         }
     }
 }
