@@ -1,0 +1,193 @@
+//! Million-invocation stress run: drives a large synthesized
+//! multi-worker trace through all six §7.1 policies and records engine
+//! throughput plus peak memory into the `BENCH_<seq>.json` artifact
+//! series (schema `rainbowcake-stress/1`).
+//!
+//! The trace is routed **once** across the workers with the §8
+//! Locality+Sharing+Load scheduler (routing is policy-independent), and
+//! each policy then executes the per-worker sub-traces through the
+//! thread-pool executor with streaming metrics, so memory stays flat in
+//! trace length instead of accumulating millions of per-invocation
+//! records.
+//!
+//! `stress --smoke` runs a small one-hour trace through the identical
+//! pipeline and asserts the parallel per-worker reports are
+//! byte-identical to executing the same sub-traces sequentially — this
+//! is the CI guard; the full run is for the committed artifact.
+
+use std::time::Instant as WallInstant;
+
+use rainbowcake_bench::{make_policy, parallel, BASELINE_NAMES};
+use rainbowcake_metrics::json::{escape_str, fmt_f64};
+use rainbowcake_metrics::RunReport;
+use rainbowcake_sim::cluster::{route_trace, LocalitySharingLoad};
+use rainbowcake_sim::{run, SimConfig};
+use rainbowcake_trace::azure::{azure_like_trace, AzureConfig};
+use rainbowcake_trace::Trace;
+use rainbowcake_workloads::paper_catalog;
+
+/// Workers the trace is routed across (each is one engine instance).
+const WORKERS: usize = 4;
+
+/// Peak resident set size of this process in kB (`VmHWM`), or 0 when
+/// `/proc` is unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")?
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .ok()
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// Routes `trace` across [`WORKERS`] nodes with the §8 scheduler and
+/// returns the per-worker sub-traces.
+fn route(catalog: &rainbowcake_core::profile::Catalog, trace: &Trace) -> Vec<Trace> {
+    let mut router = LocalitySharingLoad::default();
+    route_trace(catalog, trace, WORKERS, &mut router)
+}
+
+/// Executes `policy` over every sub-trace, fanned out over `threads`
+/// (0 = sequential on the calling thread).
+fn run_policy(
+    catalog: &rainbowcake_core::profile::Catalog,
+    name: &str,
+    subs: &[Trace],
+    config: &SimConfig,
+    threads: usize,
+) -> Vec<RunReport> {
+    let jobs: Vec<_> = subs
+        .iter()
+        .map(|sub| {
+            move || {
+                let mut policy = make_policy(name, catalog);
+                run(catalog, policy.as_mut(), sub, config)
+            }
+        })
+        .collect();
+    if threads == 0 {
+        jobs.into_iter().map(|j| j()).collect()
+    } else {
+        parallel::run_jobs_on(threads, jobs)
+    }
+}
+
+fn smoke() {
+    let catalog = paper_catalog();
+    let trace = azure_like_trace(
+        catalog.len(),
+        &AzureConfig {
+            hours: 1,
+            ..AzureConfig::default()
+        },
+    );
+    let subs = route(&catalog, &trace);
+    let config = SimConfig {
+        streaming_metrics: true,
+        ..SimConfig::default()
+    };
+    for name in BASELINE_NAMES {
+        let sequential: Vec<String> = run_policy(&catalog, name, &subs, &config, 0)
+            .iter()
+            .map(|r| r.to_json())
+            .collect();
+        for threads in [2, 4] {
+            let parallel_json: Vec<String> = run_policy(&catalog, name, &subs, &config, threads)
+                .iter()
+                .map(|r| r.to_json())
+                .collect();
+            assert_eq!(
+                parallel_json, sequential,
+                "{name}: parallel ({threads} threads) diverged from sequential"
+            );
+        }
+        let completed: usize = run_policy(&catalog, name, &subs, &config, 2)
+            .iter()
+            .map(|r| r.invocations())
+            .sum();
+        assert!(completed > 0, "{name} completed nothing");
+        println!("smoke {name}: {completed} invocations, parallel == sequential");
+    }
+    println!("stress --smoke passed");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
+    let threads = parallel::worker_threads().max(2);
+    let azure = AzureConfig {
+        hours: 48,
+        rate_scale: 16.0,
+        ..AzureConfig::default()
+    };
+    let catalog = paper_catalog();
+    println!(
+        "stress: synthesizing {}h trace at {}x rate ...",
+        azure.hours, azure.rate_scale
+    );
+    let trace = azure_like_trace(catalog.len(), &azure);
+    let total = trace.len();
+    assert!(
+        total >= 1_000_000,
+        "stress trace must reach one million invocations (got {total})"
+    );
+    println!("stress: {total} invocations, routing across {WORKERS} workers ...");
+    let subs = route(&catalog, &trace);
+    let config = SimConfig {
+        streaming_metrics: true,
+        ..SimConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    for name in BASELINE_NAMES {
+        let t0 = WallInstant::now();
+        let reports = run_policy(&catalog, name, &subs, &config, threads);
+        let wall = t0.elapsed().as_secs_f64();
+        let completed: usize = reports.iter().map(|r| r.invocations()).sum();
+        let cold: usize = reports.iter().map(|r| r.cold_starts()).sum();
+        let eps = completed as f64 / wall;
+        assert!(
+            completed >= 1_000_000,
+            "{name} completed only {completed} invocations"
+        );
+        println!(
+            "  {name}: {completed} invocations in {wall:.2} s ({eps:.0} inv/s), {cold} cold starts"
+        );
+        rows.push(format!(
+            "{{\"name\":{},\"completed\":{completed},\"cold_starts\":{cold},\
+             \"wall_s\":{},\"events_per_s\":{}}}",
+            escape_str(name),
+            fmt_f64(wall),
+            fmt_f64(eps),
+        ));
+    }
+
+    let json = format!(
+        "{{\"schema\":\"rainbowcake-stress/1\",\"threads\":{threads},\
+         \"workers\":{WORKERS},\"hours\":{},\"rate_scale\":{},\
+         \"invocations\":{total},\"router\":\"Locality+Sharing+Load\",\
+         \"peak_rss_kb\":{},\"policies\":[{}]}}\n",
+        azure.hours,
+        fmt_f64(azure.rate_scale),
+        peak_rss_kb(),
+        rows.join(","),
+    );
+
+    let dir = std::env::var("PERF_BASELINE_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = (1..10_000)
+        .map(|i| format!("{dir}/BENCH_{i:04}.json"))
+        .find(|p| !std::path::Path::new(p).exists())
+        .expect("fewer than 10000 baselines");
+    std::fs::write(&path, json).expect("write stress artifact");
+    println!("wrote {path} (peak RSS {} MB)", peak_rss_kb() / 1024);
+}

@@ -28,18 +28,42 @@ impl fmt::Display for FunctionId {
 }
 
 /// Identifies a container instance inside a worker's pool.
+///
+/// The id is *generational*: the low 32 bits name the pool slot the
+/// container occupies, the high 32 bits its creation sequence number.
+/// Slot reuse therefore never aliases ids, slot extraction is one mask,
+/// and — because the creation sequence occupies the most-significant
+/// bits — the derived `Ord` is exactly creation order, which every
+/// ordered index and deterministic iteration in the simulator relies
+/// on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ContainerId(u64);
 
 impl ContainerId {
-    /// Creates a container id from its raw sequence number.
+    /// Creates a container id from its raw packed value.
     pub const fn new(raw: u64) -> Self {
         ContainerId(raw)
     }
 
-    /// The raw sequence number.
+    /// Creates a container id from a creation sequence number and a
+    /// pool slot.
+    pub const fn from_parts(seq: u32, slot: u32) -> Self {
+        ContainerId(((seq as u64) << 32) | slot as u64)
+    }
+
+    /// The raw packed value.
     pub const fn raw(self) -> u64 {
         self.0
+    }
+
+    /// The pool slot this container occupies.
+    pub const fn slot(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    /// The creation sequence number.
+    pub const fn seq(self) -> u32 {
+        (self.0 >> 32) as u32
     }
 }
 
@@ -209,6 +233,17 @@ mod tests {
     fn ids_display() {
         assert_eq!(format!("{}", FunctionId::new(3)), "fn#3");
         assert_eq!(format!("{}", ContainerId::new(7)), "ctr#7");
+    }
+
+    #[test]
+    fn container_id_packs_generation_and_slot() {
+        let id = ContainerId::from_parts(5, 9);
+        assert_eq!(id.seq(), 5);
+        assert_eq!(id.slot(), 9);
+        assert_eq!(id.raw(), (5 << 32) | 9);
+        // Ord is creation order: a later generation compares greater
+        // regardless of slot.
+        assert!(ContainerId::from_parts(6, 0) > ContainerId::from_parts(5, 1_000));
     }
 
     #[test]

@@ -79,7 +79,32 @@ impl RunReport {
             out.push_str(&fmt_f64(miss.value()));
             out.push(']');
         }
-        out.push_str("]}}");
+        out.push_str("]}");
+        // Streaming aggregates are emitted only when present, so exact
+        // (default) reports encode to the same bytes as before.
+        if let Some(s) = &self.streaming {
+            let pct = |v: Option<f64>| v.map(fmt_f64).unwrap_or_else(|| "null".to_string());
+            out.push_str(&format!(
+                ",\"streaming\":{{\"count\":{},\"total_queue_us\":{},\
+                 \"total_startup_us\":{},\"total_exec_us\":{},\"start_types\":[{}],\
+                 \"startup_p50_s\":{},\"startup_p99_s\":{},\
+                 \"e2e_p50_s\":{},\"e2e_p99_s\":{}}}",
+                s.count,
+                s.total_queue.as_micros(),
+                s.total_startup.as_micros(),
+                s.total_exec.as_micros(),
+                s.start_type_counts
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                pct(s.startup_hist.percentile(50.0)),
+                pct(s.startup_hist.percentile(99.0)),
+                pct(s.e2e_hist.percentile(50.0)),
+                pct(s.e2e_hist.percentile(99.0)),
+            ));
+        }
+        out.push('}');
         out
     }
 }

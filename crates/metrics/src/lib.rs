@@ -39,6 +39,7 @@ pub mod record;
 pub mod summary;
 pub mod waste;
 
+pub use percentile::LogHistogram;
 pub use record::{InvocationRecord, StartType};
-pub use summary::{FunctionSummary, MetricsCollector, RunReport};
+pub use summary::{FunctionSummary, MetricsCollector, RunReport, StreamingSummary};
 pub use waste::{IdleOutcome, WasteTracker};

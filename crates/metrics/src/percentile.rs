@@ -1,4 +1,8 @@
-//! Exact percentile computation over recorded samples.
+//! Exact percentile computation over recorded samples, plus a
+//! fixed-size streaming estimator ([`LogHistogram`]) for runs too large
+//! to keep every sample.
+
+use serde::{Deserialize, Serialize};
 
 /// Exact percentile (nearest-rank with linear interpolation) of an
 /// unsorted slice. `p` is in `[0, 100]`. Returns `None` for an empty
@@ -47,6 +51,111 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     }
 }
 
+/// Smallest distinguishable value of a [`LogHistogram`], in the unit of
+/// the recorded samples (1 µs for latencies recorded in seconds).
+const HIST_MIN: f64 = 1e-6;
+/// Geometric bin growth factor: every bin spans 2% relative range, so
+/// percentile estimates carry at most ~1% relative error.
+const HIST_GROWTH: f64 = 1.02;
+/// Bin count. `HIST_MIN * HIST_GROWTH^1399 ≈ 1.1e6`, comfortably above
+/// any latency a multi-day simulation can produce; bin 0 catches
+/// underflow and the last bin overflow.
+const HIST_BINS: usize = 1400;
+
+/// A streaming percentile estimator over non-negative samples: a
+/// fixed-size histogram with geometrically growing bins (~2% wide), so
+/// memory is constant in the number of samples and percentile queries
+/// have bounded relative error. Exact minimum and maximum are tracked
+/// on the side, and estimates are clamped into `[min, max]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    bins: Vec<u64>,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            bins: vec![0; HIST_BINS],
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bin_of(v: f64) -> usize {
+        if v < HIST_MIN {
+            return 0;
+        }
+        let b = 1 + ((v / HIST_MIN).ln() / HIST_GROWTH.ln()).floor() as usize;
+        b.min(HIST_BINS - 1)
+    }
+
+    /// Lower edge of `bin` (0 for the underflow bin).
+    fn bin_lo(bin: usize) -> f64 {
+        if bin == 0 {
+            0.0
+        } else {
+            HIST_MIN * HIST_GROWTH.powi(bin as i32 - 1)
+        }
+    }
+
+    /// Records one sample (negative values count as zero).
+    pub fn record(&mut self, v: f64) {
+        let v = v.max(0.0);
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.bins[Self::bin_of(v)] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Estimated percentile (`p` in `[0, 100]`); `None` when empty.
+    /// `p = 0` and `p = 100` return the exact minimum and maximum.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        debug_assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.count == 0 {
+            return None;
+        }
+        if p <= 0.0 {
+            return Some(self.min);
+        }
+        if p >= 100.0 {
+            return Some(self.max);
+        }
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (bin, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Geometric bin midpoint, clamped to the observed range.
+                let lo = Self::bin_lo(bin).max(HIST_MIN / HIST_GROWTH);
+                let hi = Self::bin_lo(bin + 1);
+                return Some((lo * hi).sqrt().clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +197,65 @@ mod tests {
             assert!(v >= last);
             last = v;
         }
+    }
+
+    #[test]
+    fn histogram_empty_and_extremes() {
+        let mut h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), None);
+        for v in [0.004, 1.5, 0.25, 80.0] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.percentile(0.0), Some(0.004));
+        assert_eq!(h.percentile(100.0), Some(80.0));
+    }
+
+    #[test]
+    fn histogram_tracks_exact_percentiles_closely() {
+        // A latency-like spread: sub-millisecond to tens of seconds.
+        let xs: Vec<f64> = (1..=5_000)
+            .map(|i| 1e-4 * (1.0017f64).powi(i % 4_000))
+            .collect();
+        let mut h = LogHistogram::new();
+        for &v in &xs {
+            h.record(v);
+        }
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0, 99.9] {
+            let exact = percentile(&xs, p).unwrap();
+            let est = h.percentile(p).unwrap();
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel < 0.03,
+                "p{p}: exact {exact}, estimate {est}, rel err {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotone() {
+        let mut h = LogHistogram::new();
+        for i in 0..1_000 {
+            h.record(i as f64 * 0.01);
+        }
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 5.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0] {
+            let v = h.percentile(p).unwrap();
+            assert!(v >= last, "p{p} regressed: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_huge_values() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(1e9); // beyond the last bin edge: clamped, not lost
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.percentile(0.0), Some(0.0));
+        assert_eq!(h.percentile(100.0), Some(1e9));
+        let p50 = h.percentile(50.0).unwrap();
+        assert!((0.0..=1e9).contains(&p50));
     }
 }

@@ -11,9 +11,58 @@ use rainbowcake_core::mem::GbSeconds;
 use rainbowcake_core::time::Micros;
 use rainbowcake_core::types::FunctionId;
 
-use crate::percentile::percentile;
+use crate::percentile::{percentile, LogHistogram};
 use crate::record::{InvocationRecord, StartType};
 use crate::waste::WasteTracker;
+
+/// Constant-memory aggregate of invocation records: exact counts and
+/// latency totals, plus [`LogHistogram`] percentile estimators. Used in
+/// place of the per-record vector for traces too large to hold (the
+/// `stress` bench's million-invocation runs).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamingSummary {
+    /// Completed invocations.
+    pub count: usize,
+    /// Exact total queueing latency.
+    pub total_queue: Micros,
+    /// Exact total startup latency.
+    pub total_startup: Micros,
+    /// Exact total execution latency.
+    pub total_exec: Micros,
+    /// Invocations per start type, indexed like [`StartType::ALL`].
+    pub start_type_counts: [usize; 7],
+    /// Startup-latency distribution (seconds).
+    pub startup_hist: LogHistogram,
+    /// End-to-end-latency distribution (seconds).
+    pub e2e_hist: LogHistogram,
+}
+
+impl StreamingSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        StreamingSummary::default()
+    }
+
+    /// Folds one completed invocation into the aggregates.
+    pub fn record(&mut self, r: &InvocationRecord) {
+        self.count += 1;
+        self.total_queue += r.queue;
+        self.total_startup += r.startup;
+        self.total_exec += r.exec;
+        let idx = StartType::ALL
+            .iter()
+            .position(|&t| t == r.start_type)
+            .expect("all start types enumerated");
+        self.start_type_counts[idx] += 1;
+        self.startup_hist.record(r.startup.as_secs_f64());
+        self.e2e_hist.record(r.e2e().as_secs_f64());
+    }
+
+    /// Exact total end-to-end latency.
+    pub fn total_e2e(&self) -> Micros {
+        self.total_queue + self.total_startup + self.total_exec
+    }
+}
 
 /// Collects measurements during a run; turned into a [`RunReport`] at
 /// the end.
@@ -21,17 +70,31 @@ use crate::waste::WasteTracker;
 pub struct MetricsCollector {
     records: Vec<InvocationRecord>,
     waste: WasteTracker,
+    streaming: Option<StreamingSummary>,
 }
 
 impl MetricsCollector {
-    /// Creates an empty collector.
+    /// Creates an empty collector keeping every invocation record.
     pub fn new() -> Self {
         MetricsCollector::default()
     }
 
+    /// Creates a collector that folds records into a
+    /// [`StreamingSummary`] instead of storing them — constant memory
+    /// for arbitrarily long traces, estimated (not exact) percentiles.
+    pub fn streaming() -> Self {
+        MetricsCollector {
+            streaming: Some(StreamingSummary::new()),
+            ..MetricsCollector::default()
+        }
+    }
+
     /// Records one completed invocation.
     pub fn record_invocation(&mut self, record: InvocationRecord) {
-        self.records.push(record);
+        match &mut self.streaming {
+            Some(s) => s.record(&record),
+            None => self.records.push(record),
+        }
     }
 
     /// Mutable access to the waste tracker (the platform feeds idle
@@ -42,12 +105,15 @@ impl MetricsCollector {
 
     /// Number of invocations recorded so far.
     pub fn len(&self) -> usize {
-        self.records.len()
+        match &self.streaming {
+            Some(s) => s.count,
+            None => self.records.len(),
+        }
     }
 
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len() == 0
     }
 
     /// Finalizes into a report for `policy`.
@@ -56,6 +122,7 @@ impl MetricsCollector {
             policy: policy.into(),
             records: self.records,
             waste: self.waste,
+            streaming: self.streaming,
         }
     }
 }
@@ -76,58 +143,92 @@ pub struct FunctionSummary {
 }
 
 /// The complete result of one simulated experiment.
+///
+/// A report carries either every invocation record (the default) or,
+/// for streaming runs, a [`StreamingSummary`] with `records` empty; the
+/// aggregate accessors below consult whichever is present. Per-record
+/// views (`per_function`, the timelines) are only available on exact
+/// reports and come back empty on streaming ones.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
     /// Policy that produced the run.
     pub policy: String,
-    /// Every completed invocation.
+    /// Every completed invocation (empty for streaming runs).
     pub records: Vec<InvocationRecord>,
     /// Idle-memory waste accounting.
     pub waste: WasteTracker,
+    /// Streaming aggregates, when the run used constant-memory metrics.
+    pub streaming: Option<StreamingSummary>,
 }
 
 impl RunReport {
+    /// Number of completed invocations.
+    pub fn invocations(&self) -> usize {
+        match &self.streaming {
+            Some(s) => s.count,
+            None => self.records.len(),
+        }
+    }
+
     /// Total startup latency summed over all invocations (the y-axis of
     /// Fig. 9-left and Fig. 12b).
     pub fn total_startup(&self) -> Micros {
-        self.records.iter().map(|r| r.startup).sum()
+        match &self.streaming {
+            Some(s) => s.total_startup,
+            None => self.records.iter().map(|r| r.startup).sum(),
+        }
     }
 
     /// Total end-to-end latency summed over all invocations.
     pub fn total_e2e(&self) -> Micros {
-        self.records.iter().map(|r| r.e2e()).sum()
+        match &self.streaming {
+            Some(s) => s.total_e2e(),
+            None => self.records.iter().map(|r| r.e2e()).sum(),
+        }
     }
 
     /// Mean startup latency.
     pub fn avg_startup(&self) -> Micros {
-        if self.records.is_empty() {
-            return Micros::ZERO;
+        match self.invocations() {
+            0 => Micros::ZERO,
+            n => self.total_startup() / n as u64,
         }
-        self.total_startup() / self.records.len() as u64
     }
 
     /// Mean end-to-end latency.
     pub fn avg_e2e(&self) -> Micros {
-        if self.records.is_empty() {
-            return Micros::ZERO;
+        match self.invocations() {
+            0 => Micros::ZERO,
+            n => self.total_e2e() / n as u64,
         }
-        self.total_e2e() / self.records.len() as u64
     }
 
-    /// A percentile of end-to-end latency (`p` in `[0, 100]`).
+    /// A percentile of end-to-end latency (`p` in `[0, 100]`); exact
+    /// over records, estimated (~2% relative error) on streaming runs.
     pub fn e2e_percentile(&self, p: f64) -> Option<Micros> {
-        let xs: Vec<f64> = self.records.iter().map(|r| r.e2e().as_secs_f64()).collect();
-        percentile(&xs, p).map(Micros::from_secs_f64)
+        match &self.streaming {
+            Some(s) => s.e2e_hist.percentile(p).map(Micros::from_secs_f64),
+            None => {
+                let xs: Vec<f64> = self.records.iter().map(|r| r.e2e().as_secs_f64()).collect();
+                percentile(&xs, p).map(Micros::from_secs_f64)
+            }
+        }
     }
 
-    /// A percentile of startup latency (`p` in `[0, 100]`).
+    /// A percentile of startup latency (`p` in `[0, 100]`); exact over
+    /// records, estimated on streaming runs.
     pub fn startup_percentile(&self, p: f64) -> Option<Micros> {
-        let xs: Vec<f64> = self
-            .records
-            .iter()
-            .map(|r| r.startup.as_secs_f64())
-            .collect();
-        percentile(&xs, p).map(Micros::from_secs_f64)
+        match &self.streaming {
+            Some(s) => s.startup_hist.percentile(p).map(Micros::from_secs_f64),
+            None => {
+                let xs: Vec<f64> = self
+                    .records
+                    .iter()
+                    .map(|r| r.startup.as_secs_f64())
+                    .collect();
+                percentile(&xs, p).map(Micros::from_secs_f64)
+            }
+        }
     }
 
     /// Total memory waste (Fig. 8 / Fig. 12c).
@@ -137,23 +238,44 @@ impl RunReport {
 
     /// Number of invocations per start type (Fig. 10 / §7.4).
     pub fn start_type_counts(&self) -> [(StartType, usize); 7] {
-        StartType::ALL.map(|t| (t, self.records.iter().filter(|r| r.start_type == t).count()))
+        match &self.streaming {
+            Some(s) => {
+                let mut i = 0;
+                StartType::ALL.map(|t| {
+                    let n = s.start_type_counts[i];
+                    i += 1;
+                    (t, n)
+                })
+            }
+            None => StartType::ALL
+                .map(|t| (t, self.records.iter().filter(|r| r.start_type == t).count())),
+        }
     }
 
     /// Number of fully cold starts.
     pub fn cold_starts(&self) -> usize {
-        self.records
-            .iter()
-            .filter(|r| r.start_type == StartType::Cold)
-            .count()
+        match &self.streaming {
+            Some(s) => {
+                let idx = StartType::ALL
+                    .iter()
+                    .position(|&t| t == StartType::Cold)
+                    .expect("Cold is enumerated");
+                s.start_type_counts[idx]
+            }
+            None => self
+                .records
+                .iter()
+                .filter(|r| r.start_type == StartType::Cold)
+                .count(),
+        }
     }
 
     /// Fraction of invocations that avoided a full cold start.
     pub fn warm_rate(&self) -> f64 {
-        if self.records.is_empty() {
-            return 0.0;
+        match self.invocations() {
+            0 => 0.0,
+            n => 1.0 - self.cold_starts() as f64 / n as f64,
         }
-        1.0 - self.cold_starts() as f64 / self.records.len() as f64
     }
 
     /// Eq. 1 unified cost of the whole run.
@@ -337,6 +459,55 @@ mod tests {
         let m = CostModel::new(0.5).unwrap();
         let expected = 0.5 * r.total_startup().as_secs_f64() + 0.5 * r.total_waste().value();
         assert!((r.unified_cost(m) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_matches_exact_aggregates() {
+        let recs: Vec<InvocationRecord> = (0..500)
+            .map(|i| {
+                let t = [
+                    StartType::Cold,
+                    StartType::WarmUser,
+                    StartType::SharedLang,
+                    StartType::Snapshot,
+                ][i % 4];
+                rec(
+                    (i % 7) as u32,
+                    i as u64,
+                    5 + (i as u64 * 13) % 2_000,
+                    100,
+                    t,
+                )
+            })
+            .collect();
+        let mut exact = MetricsCollector::new();
+        let mut streaming = MetricsCollector::streaming();
+        for r in &recs {
+            exact.record_invocation(*r);
+            streaming.record_invocation(*r);
+        }
+        let e = exact.into_report("X");
+        let s = streaming.into_report("X");
+        assert!(e.streaming.is_none());
+        assert!(s.streaming.is_some());
+        assert!(s.records.is_empty(), "streaming keeps no records");
+        // Counts and totals are exact in both modes.
+        assert_eq!(s.invocations(), e.invocations());
+        assert_eq!(s.total_startup(), e.total_startup());
+        assert_eq!(s.total_e2e(), e.total_e2e());
+        assert_eq!(s.avg_startup(), e.avg_startup());
+        assert_eq!(s.cold_starts(), e.cold_starts());
+        assert_eq!(s.start_type_counts(), e.start_type_counts());
+        assert!((s.warm_rate() - e.warm_rate()).abs() < 1e-12);
+        // Percentiles are estimates with bounded relative error.
+        for p in [50.0, 90.0, 99.0] {
+            let ev = e.startup_percentile(p).unwrap().as_secs_f64();
+            let sv = s.startup_percentile(p).unwrap().as_secs_f64();
+            assert!(
+                (sv - ev).abs() <= ev * 0.03 + 1e-6,
+                "p{p}: exact {ev}, streaming {sv}"
+            );
+        }
     }
 
     #[test]

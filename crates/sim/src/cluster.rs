@@ -271,6 +271,38 @@ impl ClusterReport {
     }
 }
 
+/// Routes `trace` across `workers` nodes with `router` and returns one
+/// sub-trace per worker (same horizon as the input). Routing is
+/// policy-independent, so the result can be executed under any number
+/// of policies without re-routing — the stress harness relies on this.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero or the router returns an out-of-range
+/// worker.
+pub fn route_trace(
+    catalog: &Catalog,
+    trace: &Trace,
+    workers: usize,
+    router: &mut dyn Router,
+) -> Vec<Trace> {
+    assert!(workers > 0, "cluster needs at least one worker");
+    let mut views: Vec<WorkerView> = (0..workers)
+        .map(|_| WorkerView::new(catalog.len()))
+        .collect();
+    let mut sub: Vec<Vec<Arrival>> = vec![Vec::new(); workers];
+    for a in trace.iter() {
+        let language = catalog.profile(a.function).language;
+        let w = router.route(a.time, a.function, language, &views);
+        assert!(w < workers, "router returned an out-of-range worker");
+        views[w].record(a.function, language, a.time);
+        sub[w].push(*a);
+    }
+    sub.into_iter()
+        .map(|arrivals| Trace::from_arrivals(trace.horizon(), arrivals))
+        .collect()
+}
+
 /// Routes `trace` across `workers` nodes with `router`, then executes
 /// each worker's sub-trace with a fresh policy from `make_policy`.
 ///
@@ -285,23 +317,11 @@ pub fn run_cluster(
     per_worker: &SimConfig,
     router: &mut dyn Router,
 ) -> ClusterReport {
-    assert!(workers > 0, "cluster needs at least one worker");
-    let mut views: Vec<WorkerView> = (0..workers)
-        .map(|_| WorkerView::new(catalog.len()))
-        .collect();
-    let mut sub: Vec<Vec<Arrival>> = vec![Vec::new(); workers];
-    for a in trace.iter() {
-        let language = catalog.profile(a.function).language;
-        let w = router.route(a.time, a.function, language, &views);
-        assert!(w < workers, "router returned an out-of-range worker");
-        views[w].record(a.function, language, a.time);
-        sub[w].push(*a);
-    }
+    let sub = route_trace(catalog, trace, workers, router);
     let assigned: Vec<usize> = sub.iter().map(|s| s.len()).collect();
     let workers_reports = sub
         .into_iter()
-        .map(|arrivals| {
-            let sub_trace = Trace::from_arrivals(trace.horizon(), arrivals);
+        .map(|sub_trace| {
             let mut policy = make_policy();
             run(catalog, policy.as_mut(), &sub_trace, per_worker)
         })

@@ -4,6 +4,8 @@
 use rainbowcake_core::mem::MemMb;
 use rainbowcake_core::time::Micros;
 
+use crate::event::QueueKind;
+
 /// The checkpoint/restore extension (§7.8, CRIU through the Docker
 /// checkpoint API in the paper's prototype).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +57,13 @@ pub struct SimConfig {
     pub transition_jitter: f64,
     /// Optional checkpoint/restore support (§7.8).
     pub checkpoint: Option<CheckpointConfig>,
+    /// Future-event-list backend. Both produce identical simulations;
+    /// the binary heap is kept as the reference for equivalence tests.
+    pub event_queue: QueueKind,
+    /// Aggregate invocation metrics on the fly (bounded memory) instead
+    /// of keeping every record. Per-record outputs (fig binaries, JSON
+    /// byte-identity) need the default exact path.
+    pub streaming_metrics: bool,
 }
 
 impl Default for SimConfig {
@@ -68,6 +77,8 @@ impl Default for SimConfig {
             contention_coeff: 0.6,
             transition_jitter: 0.15,
             checkpoint: None,
+            event_queue: QueueKind::TimerWheel,
+            streaming_metrics: false,
         }
     }
 }

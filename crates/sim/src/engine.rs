@@ -89,7 +89,6 @@ struct Engine<'a> {
     // on the same buffer (`try_place` returns the view buffer before
     // executing placements, which is when `ensure_memory` needs it).
     scratch_views: Vec<ContainerView>,
-    scratch_reuse: Vec<(ContainerId, ReuseClass, Instant)>,
     scratch_options: Vec<(Micros, u8, Placement)>,
 }
 
@@ -105,15 +104,18 @@ impl<'a> Engine<'a> {
             config,
             policy,
             pool: Pool::new(config.memory_capacity),
-            events: EventQueue::new(),
+            events: EventQueue::with_backend(config.event_queue),
             rng: StdRng::seed_from_u64(config.seed),
-            metrics: MetricsCollector::new(),
+            metrics: if config.streaming_metrics {
+                MetricsCollector::streaming()
+            } else {
+                MetricsCollector::new()
+            },
             pending: VecDeque::new(),
             horizon: Instant::ZERO + horizon,
             first_arrival: vec![None; catalog.len()],
             now: Instant::ZERO,
             scratch_views: Vec::new(),
-            scratch_reuse: Vec::new(),
             scratch_options: Vec::new(),
         }
     }
@@ -295,36 +297,38 @@ impl<'a> Engine<'a> {
         let mut options = std::mem::take(&mut self.scratch_options);
         options.clear();
 
-        // Idle-container reuse options sanctioned by the policy. The
-        // idle index yields candidates in id order, exactly as the old
-        // whole-pool scan did.
+        // Idle-container reuse options sanctioned by the policy: the
+        // best candidate of each reuse class, selected in one linear
+        // pass. Candidates arrive in id (creation) order and a slot is
+        // replaced only by a *strictly* more recent `idle_since`, so
+        // the winner per class is the most recently idle container with
+        // the lowest id — exactly what the old
+        // `sort_by_key((class, Reverse(since), id))` + first-per-class
+        // retain produced.
         {
             let mut views = std::mem::take(&mut self.scratch_views);
             self.pool.idle_views_into(None, &mut views);
-            let mut reuse = std::mem::take(&mut self.scratch_reuse);
-            reuse.clear();
             let ctx = self.ctx();
-            reuse.extend(views.iter().filter_map(|v| {
-                self.policy
-                    .reuse_class(&ctx, f, v)
-                    .map(|class| (v.id, class, v.idle_since))
-            }));
-            self.scratch_views = views;
-            // Prefer warmest class, then most recently idle, then id —
-            // and keep only the best candidate per class to bound work.
-            reuse.sort_by_key(|&(id, class, since)| (class, std::cmp::Reverse(since), id));
-            let mut seen = [false; 5];
-            reuse.retain(|&(_, class, _)| {
-                let i = class as usize;
-                let keep = !seen[i];
-                seen[i] = true;
-                keep
-            });
-            for &(id, class, _) in &reuse {
-                let startup = self.startup_reuse(&profile, class);
-                options.push((startup, class_rank(class), Placement::Reuse(id, class)));
+            let mut best: [Option<(ContainerId, Instant)>; 5] = [None; 5];
+            for v in &views {
+                if let Some(class) = self.policy.reuse_class(&ctx, f, v) {
+                    let slot = &mut best[class_rank(class) as usize];
+                    match slot {
+                        Some((_, since)) if *since >= v.idle_since => {}
+                        _ => *slot = Some((v.id, v.idle_since)),
+                    }
+                }
             }
-            self.scratch_reuse = reuse;
+            self.scratch_views = views;
+            // Warmest class first, so the contended-transition RNG
+            // draws happen in the same order as before.
+            for (rank, entry) in best.iter().enumerate() {
+                if let Some((id, _)) = *entry {
+                    let class = CLASS_BY_RANK[rank];
+                    let startup = self.startup_reuse(&profile, class);
+                    options.push((startup, rank as u8, Placement::Reuse(id, class)));
+                }
+            }
         }
 
         // Attach to an in-flight pre-warm.
@@ -338,10 +342,33 @@ impl<'a> Engine<'a> {
         let cold = self.startup_cold(&profile);
         options.push((cold, 6, Placement::Cold));
 
-        options.sort_by_key(|&(startup, rank, _)| (startup, rank));
-
+        // Try placements cheapest-first by repeated minimum selection
+        // over the (at most 7) options instead of sorting. Ranks are
+        // unique across options, so `(startup, rank)` keys are unique
+        // and the visit order equals the old stable sort's.
+        debug_assert!(options.len() <= 7, "one option per rank");
         let mut placed = false;
-        for &(startup, _, placement) in &options {
+        let mut tried = [false; 7];
+        loop {
+            let mut next: Option<usize> = None;
+            for (i, &(startup, rank, _)) in options.iter().enumerate() {
+                if tried[i] {
+                    continue;
+                }
+                let better = match next {
+                    Some(j) => {
+                        let (s, r, _) = options[j];
+                        (startup, rank) < (s, r)
+                    }
+                    None => true,
+                };
+                if better {
+                    next = Some(i);
+                }
+            }
+            let Some(i) = next else { break };
+            tried[i] = true;
+            let (startup, _, placement) = options[i];
             let ok = match placement {
                 Placement::Reuse(id, class) => {
                     self.execute_reuse(id, class, f, &profile, arrival, startup)
@@ -414,7 +441,7 @@ impl<'a> Engine<'a> {
         match class {
             ReuseClass::WarmUser | ReuseClass::SnapshotUser | ReuseClass::SharedPacked => {
                 self.pool.resize(id, target_mem);
-                {
+                let epoch = {
                     let mut c = self.pool.get_mut(id).expect("reuse target exists");
                     if class == ReuseClass::SharedPacked {
                         c.apply(LifecycleEvent::Adopt { function: f })
@@ -425,7 +452,11 @@ impl<'a> Engine<'a> {
                         .expect("idle user container can execute");
                     c.init_language = Some(profile.language);
                     c.assigned = Some(assignment);
-                }
+                    c.epoch
+                };
+                // The reused container's pending keep-alive timer is
+                // now dead; let the queue drop it early.
+                self.events.note(id, epoch);
                 self.events
                     .push(exec_done, EventKind::ExecComplete { container: id });
             }
@@ -548,6 +579,7 @@ impl<'a> Engine<'a> {
         };
         self.record_waste(mem, since, self.now, IdleOutcome::Miss);
         self.pool.remove(id);
+        self.events.retire(id);
         let ctx = self.ctx();
         self.policy.on_terminated(&ctx, id);
     }
@@ -601,13 +633,15 @@ impl<'a> Engine<'a> {
             // An invocation is bound (cold start, partial warm start, or
             // attach): begin execution immediately.
             let exec_done = inv.admit + inv.startup + inv.exec;
-            {
+            let epoch = {
                 let mut c = self.pool.get_mut(id).expect("init target exists");
                 c.apply(LifecycleEvent::BeginExecution {
                     function: inv.function,
                 })
                 .expect("initialized container can execute its invocation");
-            }
+                c.epoch
+            };
+            self.events.note(id, epoch);
             self.events
                 .push(exec_done, EventKind::ExecComplete { container: id });
         } else {
@@ -653,10 +687,13 @@ impl<'a> Engine<'a> {
     }
 
     fn schedule_timeout(&mut self, id: ContainerId, ttl: Micros) {
-        if ttl == Micros::MAX {
-            return; // never expires (e.g. FaaSCache keep-alive)
-        }
         let epoch = self.pool.get(id).expect("container exists").epoch;
+        if ttl == Micros::MAX {
+            // Never expires (e.g. FaaSCache keep-alive) — but still
+            // record the epoch so older pending timers die in-queue.
+            self.events.note(id, epoch);
+            return;
+        }
         self.events.push(
             self.now + ttl,
             EventKind::IdleTimeout {
@@ -789,6 +826,15 @@ fn class_rank(class: ReuseClass) -> u8 {
         ReuseClass::SharedBare => 4,
     }
 }
+
+/// Inverse of [`class_rank`], warmest first.
+const CLASS_BY_RANK: [ReuseClass; 5] = [
+    ReuseClass::WarmUser,
+    ReuseClass::SnapshotUser,
+    ReuseClass::SharedPacked,
+    ReuseClass::SharedLang,
+    ReuseClass::SharedBare,
+];
 
 #[cfg(test)]
 mod tests {

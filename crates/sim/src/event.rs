@@ -1,8 +1,24 @@
 //! The discrete-event core: timestamped events with a deterministic
 //! total order (time, then insertion sequence).
+//!
+//! Two interchangeable backends implement that order (see DESIGN.md §7):
+//!
+//! * a **hierarchical timer wheel** (the default) — O(1) pushes, pops
+//!   amortized O(levels), FIFO within a tick by construction; and
+//! * the original **binary heap**, kept as the behavioural reference for
+//!   the byte-identity tests in `tests/event_core_identity.rs`.
+//!
+//! On top of either backend the queue maintains per-container
+//! **generation stamps** so that stale container events (the old
+//! `IdleTimeout` left behind by every reuse and every layer downgrade)
+//! are dropped inside `pop` instead of surviving until the engine's
+//! handler filters them. Dropping is a pure optimization: an event is
+//! discarded only when the stamp *proves* the handler would ignore it,
+//! so a missed invalidation degrades to the old filter-at-handler
+//! behaviour and never changes simulation results.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use rainbowcake_core::time::Instant;
 use rainbowcake_core::types::{ContainerId, FunctionId};
@@ -43,6 +59,20 @@ pub enum EventKind {
     },
 }
 
+impl EventKind {
+    /// The `(container, epoch)` pair of an epoch-guarded container
+    /// event, if this is one. Only these events participate in
+    /// generation-stamp cancellation; `ExecComplete` carries no epoch
+    /// and is never dropped.
+    fn guard(&self) -> Option<(ContainerId, u64)> {
+        match *self {
+            EventKind::InitComplete { container, epoch }
+            | EventKind::IdleTimeout { container, epoch } => Some((container, epoch)),
+            _ => None,
+        }
+    }
+}
+
 /// A scheduled event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
@@ -68,39 +98,270 @@ impl PartialOrd for Event {
     }
 }
 
+/// Which future-event-list implementation an [`EventQueue`] uses. Both
+/// produce the identical pop order; the heap is kept as the reference
+/// for equivalence tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// Hierarchical timer wheel (the default).
+    #[default]
+    TimerWheel,
+    /// The original `BinaryHeap` future-event list.
+    BinaryHeap,
+}
+
+/// Bits of the slot index at each wheel level.
+const SLOT_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels. 11 levels of 6 bits cover 66 bits — the entire `u64`
+/// microsecond range — so no separate overflow list is needed.
+const LEVELS: usize = 11;
+
+/// One wheel level: 64 slots plus an occupancy bitmap so the lowest
+/// non-empty slot is a single `trailing_zeros`.
+#[derive(Debug)]
+struct Level {
+    occupied: u64,
+    slots: [Vec<Event>; SLOTS],
+}
+
+impl Level {
+    fn new() -> Self {
+        Level {
+            occupied: 0,
+            slots: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+}
+
+/// A hierarchical timer wheel over absolute microsecond timestamps.
+///
+/// Invariants (see DESIGN.md §7):
+/// * `current` holds exactly the events whose time equals `cursor`, in
+///   ascending `seq` order;
+/// * every event stored in a wheel slot has `time > cursor`, and lives
+///   at the level of the *highest* 6-bit group in which its timestamp
+///   differs from `cursor`, in the slot named by its own group value.
+///
+/// Pushes are O(1); each event cascades down at most `LEVELS - 1` times
+/// before popping, so pops are amortized O(`LEVELS`).
+#[derive(Debug)]
+struct Wheel {
+    levels: Vec<Level>,
+    /// Events firing at exactly `cursor`, in seq order.
+    current: VecDeque<Event>,
+    /// The current simulation time frontier in microseconds.
+    cursor: u64,
+}
+
+impl Wheel {
+    fn new() -> Self {
+        Wheel {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            current: VecDeque::new(),
+            cursor: 0,
+        }
+    }
+
+    fn push(&mut self, event: Event) {
+        let t = event.time.as_micros();
+        debug_assert!(t >= self.cursor, "cannot schedule into the past");
+        if t == self.cursor {
+            // `seq` is globally monotone, so appending keeps `current`
+            // sorted.
+            self.current.push_back(event);
+            return;
+        }
+        let level = (u64::BITS - 1 - (t ^ self.cursor).leading_zeros()) / SLOT_BITS;
+        let slot = (t >> (SLOT_BITS * level)) as usize & (SLOTS - 1);
+        let lvl = &mut self.levels[level as usize];
+        lvl.slots[slot].push(event);
+        lvl.occupied |= 1 << slot;
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        loop {
+            if let Some(event) = self.current.pop_front() {
+                return Some(event);
+            }
+            let level = (0..LEVELS).find(|&l| self.levels[l].occupied != 0)?;
+            let slot = self.levels[level].occupied.trailing_zeros();
+            let drained = {
+                let lvl = &mut self.levels[level];
+                lvl.occupied &= !(1 << slot);
+                std::mem::take(&mut lvl.slots[slot as usize])
+            };
+            let shift = SLOT_BITS * level as u32;
+            if level == 0 {
+                // A level-0 slot holds a single exact timestamp: all
+                // its events fire now, FIFO by sequence number. Within
+                // a slot events are already pushed in ascending seq, so
+                // this sort is a (cheap, already-sorted) safety net.
+                self.cursor = (self.cursor & !(SLOTS as u64 - 1)) | slot as u64;
+                let mut drained = drained;
+                drained.sort_unstable_by_key(|e| e.seq);
+                self.current.extend(drained);
+            } else {
+                // Advance the cursor into this slot's window and
+                // cascade its events down to finer levels.
+                let low_mask = 1u64
+                    .checked_shl(shift + SLOT_BITS)
+                    .map_or(u64::MAX, |v| v - 1);
+                self.cursor = (self.cursor & !low_mask) | ((slot as u64) << shift);
+                for event in drained {
+                    self.push(event);
+                }
+            }
+        }
+    }
+}
+
+/// A per-container-slot generation stamp: events scheduled for an older
+/// slot generation (`seq`) or an older epoch of the current generation
+/// are provably stale.
+#[derive(Debug, Clone, Copy, Default)]
+struct Stamp {
+    /// Creation sequence of the container currently (or last) occupying
+    /// the pool slot.
+    seq: u32,
+    /// Lowest epoch of that container still worth delivering; events
+    /// below it would fail the handler's `c.epoch == epoch` check.
+    min_epoch: u64,
+}
+
+#[derive(Debug)]
+enum Backend {
+    Wheel(Wheel),
+    Heap(BinaryHeap<Event>),
+}
+
 /// A deterministic future-event list.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    backend: Backend,
     next_seq: u64,
+    len: usize,
+    /// Generation stamps indexed by pool slot (`ContainerId::slot`).
+    stamps: Vec<Stamp>,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
+    }
 }
 
 impl EventQueue {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default (timer wheel) backend.
     pub fn new() -> Self {
-        EventQueue::default()
+        EventQueue::with_backend(QueueKind::TimerWheel)
+    }
+
+    /// Creates an empty queue on the chosen backend.
+    pub fn with_backend(kind: QueueKind) -> Self {
+        let backend = match kind {
+            QueueKind::TimerWheel => Backend::Wheel(Wheel::new()),
+            QueueKind::BinaryHeap => Backend::Heap(BinaryHeap::new()),
+        };
+        EventQueue {
+            backend,
+            next_seq: 0,
+            len: 0,
+            stamps: Vec::new(),
+        }
     }
 
     /// Schedules `kind` at `time`.
     pub fn push(&mut self, time: Instant, kind: EventKind) {
+        // Scheduling an epoch-guarded event proves the container has
+        // reached that epoch, so anything older is already stale.
+        if let Some((container, epoch)) = kind.guard() {
+            self.note(container, epoch);
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        self.len += 1;
+        let event = Event { time, seq, kind };
+        match &mut self.backend {
+            Backend::Wheel(w) => w.push(event),
+            Backend::Heap(h) => h.push(event),
+        }
     }
 
-    /// Pops the earliest event (FIFO among equal timestamps).
+    /// Records that `container`'s epoch is at least `epoch`: pending
+    /// epoch-guarded events below that epoch (or for an older occupant
+    /// of the same pool slot) will be dropped inside [`EventQueue::pop`]
+    /// instead of reaching the engine.
+    ///
+    /// Calling this is never required for correctness — the engine's
+    /// handlers re-check epochs against live containers — it only lets
+    /// the queue discard provably dead timers early.
+    pub fn note(&mut self, container: ContainerId, epoch: u64) {
+        let slot = container.slot();
+        if slot >= self.stamps.len() {
+            self.stamps.resize(slot + 1, Stamp::default());
+        }
+        let stamp = &mut self.stamps[slot];
+        let seq = container.seq();
+        if seq > stamp.seq {
+            *stamp = Stamp {
+                seq,
+                min_epoch: epoch,
+            };
+        } else if seq == stamp.seq && epoch > stamp.min_epoch {
+            stamp.min_epoch = epoch;
+        }
+    }
+
+    /// Marks `container` destroyed: every pending epoch-guarded event
+    /// for it is now dead.
+    pub fn retire(&mut self, container: ContainerId) {
+        self.note(container, u64::MAX);
+    }
+
+    /// Whether the stamp table proves this event would be ignored by
+    /// its handler (container slot re-occupied, or epoch superseded).
+    fn is_stale(&self, event: &Event) -> bool {
+        let Some((container, epoch)) = event.kind.guard() else {
+            return false;
+        };
+        match self.stamps.get(container.slot()) {
+            Some(stamp) => {
+                stamp.seq > container.seq()
+                    || (stamp.seq == container.seq() && epoch < stamp.min_epoch)
+            }
+            None => false,
+        }
+    }
+
+    /// Pops the earliest live event (FIFO among equal timestamps).
+    /// Events proven stale by the generation stamps are discarded
+    /// silently; skipping them is unobservable because their handlers
+    /// would be no-ops.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        loop {
+            let event = match &mut self.backend {
+                Backend::Wheel(w) => w.pop(),
+                Backend::Heap(h) => h.pop(),
+            }?;
+            self.len -= 1;
+            if self.is_stale(&event) {
+                continue;
+            }
+            return Some(event);
+        }
     }
 
-    /// Number of pending events.
+    /// Number of pending events (stale events still count until they
+    /// are discarded by `pop`).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -112,27 +373,18 @@ mod tests {
         Instant::from_micros(us)
     }
 
+    fn prewarm(i: u32) -> EventKind {
+        EventKind::PrewarmFire {
+            function: FunctionId::new(i),
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(
-            t(30),
-            EventKind::PrewarmFire {
-                function: FunctionId::new(3),
-            },
-        );
-        q.push(
-            t(10),
-            EventKind::PrewarmFire {
-                function: FunctionId::new(1),
-            },
-        );
-        q.push(
-            t(20),
-            EventKind::PrewarmFire {
-                function: FunctionId::new(2),
-            },
-        );
+        q.push(t(30), prewarm(3));
+        q.push(t(10), prewarm(1));
+        q.push(t(20), prewarm(2));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| e.time.as_micros())
             .collect();
@@ -143,12 +395,7 @@ mod tests {
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
         for i in 0..5u32 {
-            q.push(
-                t(100),
-                EventKind::PrewarmFire {
-                    function: FunctionId::new(i),
-                },
-            );
+            q.push(t(100), prewarm(i));
         }
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
@@ -162,26 +409,11 @@ mod tests {
     #[test]
     fn interleaved_push_pop_stays_ordered() {
         let mut q = EventQueue::new();
-        q.push(
-            t(50),
-            EventKind::PrewarmFire {
-                function: FunctionId::new(0),
-            },
-        );
-        q.push(
-            t(10),
-            EventKind::PrewarmFire {
-                function: FunctionId::new(1),
-            },
-        );
+        q.push(t(50), prewarm(0));
+        q.push(t(10), prewarm(1));
         let first = q.pop().unwrap();
         assert_eq!(first.time, t(10));
-        q.push(
-            t(20),
-            EventKind::PrewarmFire {
-                function: FunctionId::new(2),
-            },
-        );
+        q.push(t(20), prewarm(2));
         assert_eq!(q.pop().unwrap().time, t(20));
         assert_eq!(q.pop().unwrap().time, t(50));
         assert!(q.is_empty());
@@ -191,14 +423,154 @@ mod tests {
     fn len_tracks_contents() {
         let mut q = EventQueue::new();
         assert_eq!(q.len(), 0);
-        q.push(
-            t(1),
-            EventKind::PrewarmFire {
-                function: FunctionId::new(0),
-            },
-        );
+        q.push(t(1), prewarm(0));
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wheel_handles_widely_spread_timestamps() {
+        // Timestamps spanning every wheel level, pushed in a scrambled
+        // order, must come back sorted.
+        let mut times: Vec<u64> = (0..u64::BITS as u64)
+            .map(|b| (1u64 << b).wrapping_add(b * 37))
+            .collect();
+        times.push(0);
+        times.push(u64::MAX);
+        let scrambled: Vec<u64> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, t))
+            .collect::<Vec<_>>()
+            .chunks(3)
+            .flat_map(|c| c.iter().rev().map(|&(_, t)| t))
+            .collect();
+        let mut q = EventQueue::new();
+        for &us in &scrambled {
+            q.push(t(us), prewarm(0));
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_micros())
+            .collect();
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn fifo_survives_cascading() {
+        // Events at the same far-future instant arrive via a cascade
+        // from a high level; FIFO order must still hold, including
+        // against events pushed after the cascade started.
+        let mut q = EventQueue::new();
+        let far = 1_000_000_007;
+        for i in 0..4u32 {
+            q.push(t(far), prewarm(i));
+        }
+        q.push(t(5), prewarm(99));
+        assert_eq!(q.pop().unwrap().time, t(5));
+        // Now push more events at `far` (cursor has advanced to 5).
+        for i in 4..8u32 {
+            q.push(t(far), prewarm(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::PrewarmFire { function } => function.index() as u32,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn backends_pop_identically() {
+        let times = [7u64, 7, 0, 3, 100_000, 64, 65, 63, 4096, 7, 1 << 40];
+        let mut wheel = EventQueue::with_backend(QueueKind::TimerWheel);
+        let mut heap = EventQueue::with_backend(QueueKind::BinaryHeap);
+        for (i, &us) in times.iter().enumerate() {
+            wheel.push(t(us), prewarm(i as u32));
+            heap.push(t(us), prewarm(i as u32));
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn stale_epoch_events_are_dropped_in_pop() {
+        let c = ContainerId::new(4);
+        let mut q = EventQueue::new();
+        q.push(
+            t(10),
+            EventKind::IdleTimeout {
+                container: c,
+                epoch: 1,
+            },
+        );
+        assert_eq!(q.len(), 1);
+        // The container moved on to epoch 3: the pending timeout is dead.
+        q.note(c, 3);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+
+        // An event at the current epoch survives.
+        q.push(
+            t(20),
+            EventKind::IdleTimeout {
+                container: c,
+                epoch: 3,
+            },
+        );
+        assert!(q.pop().is_some());
+    }
+
+    #[test]
+    fn retired_and_reused_slots_drop_old_generations() {
+        let old = ContainerId::from_parts(1, 9);
+        let new = ContainerId::from_parts(2, 9); // same pool slot, later container
+        let mut q = EventQueue::new();
+        q.push(
+            t(10),
+            EventKind::IdleTimeout {
+                container: old,
+                epoch: 0,
+            },
+        );
+        q.retire(old);
+        assert!(q.pop().is_none());
+
+        q.push(
+            t(20),
+            EventKind::IdleTimeout {
+                container: old,
+                epoch: 9,
+            },
+        );
+        // A new container occupies the slot: the old generation's event
+        // is dead, the new one's is live.
+        q.push(
+            t(30),
+            EventKind::InitComplete {
+                container: new,
+                epoch: 0,
+            },
+        );
+        let popped = q.pop().unwrap();
+        assert_eq!(popped.time, t(30));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn exec_complete_is_never_dropped() {
+        let c = ContainerId::new(2);
+        let mut q = EventQueue::new();
+        q.push(t(10), EventKind::ExecComplete { container: c });
+        q.retire(c);
+        assert!(q.pop().is_some());
     }
 }

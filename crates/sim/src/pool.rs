@@ -1,19 +1,27 @@
 //! The worker's container pool: deterministic container storage with
 //! exact memory accounting and hot-path lookup indices.
 //!
-//! Besides the primary id-ordered container map, the pool maintains a
-//! set of secondary indices (idle containers, idle `User` containers per
-//! owner, idle containers per installed language, attachable in-flight
+//! Containers live in a **slab**: a flat `Vec` of slots plus a free
+//! list, addressed by generational [`ContainerId`]s (slot in the low
+//! bits, creation sequence in the high bits). Every `get`/`get_mut`/
+//! `resize` is index math with a generation check instead of an
+//! ordered-map walk, which matters because the engine touches the pool
+//! on every single event. Because the creation sequence occupies the
+//! id's most-significant bits, id order *is* creation order, so the
+//! `live` id set and every secondary index iterate exactly like the old
+//! `BTreeMap`-backed pool did — determinism of simulations is
+//! unchanged.
+//!
+//! Besides the primary slab, the pool maintains a set of secondary
+//! indices (idle containers, idle `User` containers per owner, idle
+//! containers per installed language, attachable in-flight
 //! initializations per function, and an initializing count) so the
 //! engine's per-arrival work — reuse-candidate collection, availability
 //! checks, the Fig. 13 contention model, and eviction-victim
 //! enumeration — never scans the whole pool. The indices are kept in
 //! lockstep with container state: every mutable container access goes
 //! through the [`ContainerMut`] guard, which re-derives the container's
-//! index entries when it is dropped. All index structures are B-tree
-//! based and iterate in id order, so index-backed enumeration is
-//! *exactly* the order a linear scan of the primary map would produce —
-//! determinism of simulations is unchanged.
+//! index entries when it is dropped.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::{Deref, DerefMut};
@@ -68,10 +76,10 @@ impl IndexKey {
     }
 }
 
-/// The secondary indices, maintained in lockstep with the container map.
+/// The secondary indices, maintained in lockstep with the slab.
 #[derive(Debug, Default)]
 struct PoolIndex {
-    /// All idle containers, in id order.
+    /// All idle containers, in id (creation) order.
     idle: BTreeSet<ContainerId>,
     /// Idle `User` containers per owning function, in id order.
     idle_user_by_fn: BTreeMap<FunctionId, BTreeSet<ContainerId>>,
@@ -174,15 +182,24 @@ impl Drop for ContainerMut<'_> {
 
 /// The container pool of one worker node.
 ///
-/// Containers are stored in a `BTreeMap` so every iteration order (and
-/// therefore every simulation) is deterministic; the secondary indices
-/// preserve that order.
+/// Containers are stored in a slab indexed by the slot half of their
+/// generational id; the `live` id set preserves creation-ordered
+/// iteration, so every enumeration (and therefore every simulation) is
+/// deterministic.
 #[derive(Debug)]
 pub struct Pool {
     capacity: MemMb,
     used: MemMb,
-    containers: BTreeMap<ContainerId, Container>,
-    next_id: u64,
+    /// Slab storage, indexed by `ContainerId::slot`.
+    slots: Vec<Option<Container>>,
+    /// Vacated slots available for reuse (LIFO).
+    free: Vec<u32>,
+    /// Ids of live containers, in creation order.
+    live: BTreeSet<ContainerId>,
+    /// Next creation sequence number.
+    next_seq: u32,
+    /// Lowest never-used slot.
+    next_slot: u32,
     index: PoolIndex,
 }
 
@@ -192,8 +209,11 @@ impl Pool {
         Pool {
             capacity,
             used: MemMb::ZERO,
-            containers: BTreeMap::new(),
-            next_id: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: BTreeSet::new(),
+            next_seq: 0,
+            next_slot: 0,
             index: PoolIndex::default(),
         }
     }
@@ -213,11 +233,25 @@ impl Pool {
         self.capacity - self.used
     }
 
-    /// Allocates the next container id.
+    /// Allocates the next container id, reserving a slot for it (a
+    /// vacated slot if one exists, a fresh one otherwise).
     pub fn next_id(&mut self) -> ContainerId {
-        let id = ContainerId::new(self.next_id);
-        self.next_id += 1;
-        id
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = self.free.pop().unwrap_or_else(|| {
+            let s = self.next_slot;
+            self.next_slot += 1;
+            s
+        });
+        ContainerId::from_parts(seq, slot)
+    }
+
+    /// Shared access to the container in `slot`, which the caller has
+    /// proven occupied (e.g. via a secondary index).
+    fn by_slot(&self, id: ContainerId) -> &Container {
+        let c = self.slots[id.slot()].as_ref().expect("indexed slot empty");
+        debug_assert_eq!(c.id, id, "index points at a stale generation");
+        c
     }
 
     /// Inserts a container, charging its memory.
@@ -225,7 +259,7 @@ impl Pool {
     /// # Panics
     ///
     /// Panics if the container does not fit (callers must reserve
-    /// memory first) or the id is already present.
+    /// memory first) or its slot is already occupied.
     pub fn insert(&mut self, container: Container) {
         assert!(
             container.memory + self.used <= self.capacity,
@@ -234,39 +268,61 @@ impl Pool {
             self.used,
             self.capacity
         );
-        self.used += container.memory;
         let id = container.id;
+        let slot = id.slot();
+        if slot >= self.slots.len() {
+            self.slots.resize_with(slot + 1, || None);
+        }
+        assert!(self.slots[slot].is_none(), "duplicate container id");
+        self.used += container.memory;
+        // Externally constructed ids (tests build them directly) must
+        // not collide with ids the pool hands out later.
+        self.next_slot = self.next_slot.max(slot as u32 + 1);
+        self.next_seq = self.next_seq.max(id.seq() + 1);
         let key = IndexKey::of(&container);
-        let prev = self.containers.insert(id, container);
-        assert!(prev.is_none(), "duplicate container id");
+        self.slots[slot] = Some(container);
+        self.live.insert(id);
         self.index.link(id, &key);
     }
 
-    /// Removes a container, releasing its memory.
+    /// Removes a container, releasing its memory and recycling its
+    /// slot.
     ///
     /// # Panics
     ///
     /// Panics if the id is unknown.
     pub fn remove(&mut self, id: ContainerId) -> Container {
-        let c = self.containers.remove(&id).expect("unknown container");
-        self.index.unlink(id, &IndexKey::of(&c));
-        self.used -= c.memory;
-        c
+        let slot = id.slot();
+        match self.slots.get_mut(slot) {
+            Some(entry) if entry.as_ref().is_some_and(|c| c.id == id) => {
+                let c = entry.take().expect("checked occupied");
+                self.free.push(slot as u32);
+                self.live.remove(&id);
+                self.index.unlink(id, &IndexKey::of(&c));
+                self.used -= c.memory;
+                c
+            }
+            _ => panic!("unknown container"),
+        }
     }
 
     /// Shared access to a container.
     pub fn get(&self, id: ContainerId) -> Option<&Container> {
-        self.containers.get(&id)
+        self.slots.get(id.slot())?.as_ref().filter(|c| c.id == id)
     }
 
     /// Exclusive access to a container; the returned guard re-indexes
     /// the container when dropped.
     pub fn get_mut(&mut self, id: ContainerId) -> Option<ContainerMut<'_>> {
-        let container = self.containers.get_mut(&id)?;
+        let Pool { slots, index, .. } = self;
+        let container = slots.get_mut(id.slot())?.as_mut()?;
+        if container.id != id {
+            return None;
+        }
         let old_key = IndexKey::of(container);
         Some(ContainerMut {
             container,
-            index: &mut self.index,
+            index,
             old_key,
         })
     }
@@ -279,7 +335,12 @@ impl Pool {
     /// Panics if the id is unknown or the new total would exceed the
     /// budget.
     pub fn resize(&mut self, id: ContainerId, new_memory: MemMb) {
-        let c = self.containers.get_mut(&id).expect("unknown container");
+        let c = self
+            .slots
+            .get_mut(id.slot())
+            .and_then(|s| s.as_mut())
+            .filter(|c| c.id == id)
+            .expect("unknown container");
         let new_used = self.used - c.memory + new_memory;
         assert!(
             new_used <= self.capacity,
@@ -296,22 +357,22 @@ impl Pool {
 
     /// Number of live containers.
     pub fn len(&self) -> usize {
-        self.containers.len()
+        self.live.len()
     }
 
     /// Whether the pool has no containers.
     pub fn is_empty(&self) -> bool {
-        self.containers.is_empty()
+        self.live.is_empty()
     }
 
-    /// Iterates over containers in id order.
+    /// Iterates over containers in id (creation) order.
     pub fn iter(&self) -> impl Iterator<Item = &Container> {
-        self.containers.values()
+        self.live.iter().map(|&id| self.by_slot(id))
     }
 
     /// Iterates over idle containers in id order (index-backed).
     pub fn idle_containers(&self) -> impl Iterator<Item = &Container> {
-        self.index.idle.iter().map(|id| &self.containers[id])
+        self.index.idle.iter().map(|&id| self.by_slot(id))
     }
 
     /// Ids of all idle containers, in id order (index-backed).
@@ -349,33 +410,17 @@ impl Pool {
 
     /// Fills `out` with views of all idle containers, optionally
     /// excluding one id, in id order. Clears `out` first; the buffer's
-    /// capacity is reused across calls.
-    ///
-    /// When idle containers are a small fraction of the pool (busy
-    /// workers, invocation storms) the idle index is walked with one
-    /// lookup per candidate; when the pool is mostly idle a sequential
-    /// scan of the primary map is cheaper than per-id lookups. Both
-    /// paths produce the same id-ordered result, and the choice depends
-    /// only on deterministic pool state, so simulations are unaffected.
+    /// capacity is reused across calls. Walks the idle index — each
+    /// candidate is one O(1) slab access.
     pub fn idle_views_into(&self, exclude: Option<ContainerId>, out: &mut Vec<ContainerView>) {
         out.clear();
-        let idle = self.index.idle.len();
-        if idle * 4 < self.containers.len() {
-            out.extend(
-                self.index
-                    .idle
-                    .iter()
-                    .filter(|&&id| Some(id) != exclude)
-                    .map(|id| self.containers[id].view()),
-            );
-        } else {
-            out.extend(
-                self.containers
-                    .values()
-                    .filter(|c| c.is_idle() && Some(c.id) != exclude)
-                    .map(|c| c.view()),
-            );
-        }
+        out.extend(
+            self.index
+                .idle
+                .iter()
+                .filter(|&&id| Some(id) != exclude)
+                .map(|&id| self.by_slot(id).view()),
+        );
     }
 
     /// Whether an idle `User` container owned by `f` exists (Alg. 1's
@@ -398,7 +443,7 @@ impl Pool {
             .attachable_by_fn
             .get(&f)
             .and_then(|set| set.first())
-            .map(|&(_, id)| &self.containers[&id])
+            .map(|&(_, id)| self.by_slot(id))
     }
 }
 
@@ -494,6 +539,40 @@ mod tests {
         let a = p.next_id();
         let b = p.next_id();
         assert!(a < b);
+    }
+
+    #[test]
+    fn slot_reuse_keeps_ids_fresh() {
+        let mut p = Pool::new(MemMb::new(1_000));
+        let a = p.next_id();
+        p.insert(Container::new_initializing(
+            a,
+            Instant::ZERO,
+            Layer::User,
+            FunctionId::new(0),
+            Some(Language::Python),
+            MemMb::new(100),
+            Instant::from_micros(1),
+        ));
+        p.remove(a);
+        let b = p.next_id();
+        // The slot is recycled but the id's generation advances, so the
+        // stale id no longer resolves and ids stay creation-ordered.
+        assert_eq!(b.slot(), a.slot());
+        assert!(b > a);
+        p.insert(Container::new_initializing(
+            b,
+            Instant::ZERO,
+            Layer::User,
+            FunctionId::new(0),
+            Some(Language::Python),
+            MemMb::new(100),
+            Instant::from_micros(1),
+        ));
+        assert!(p.get(a).is_none());
+        assert!(p.get_mut(a).is_none());
+        assert!(p.get(b).is_some());
+        assert_eq!(p.len(), 1);
     }
 
     #[test]

@@ -394,6 +394,86 @@ fn assert_pool_indices_match_scan(pool: &rainbowcake::sim::pool::Pool) {
     }
 }
 
+// ---------------- event queue backends ----------------
+
+proptest! {
+    /// The timer-wheel backend must pop the exact event sequence of the
+    /// reference `BinaryHeap` backend under arbitrary interleavings of
+    /// schedules, generation-stamp invalidations (note/retire), and
+    /// pops: same events, same times, same tie-breaking, same stale
+    /// drops.
+    #[test]
+    fn wheel_matches_heap_reference(
+        ops in prop::collection::vec((0u8..6, any::<u64>(), any::<u64>(), any::<u64>()), 1..200),
+    ) {
+        use rainbowcake::core::types::ContainerId;
+        use rainbowcake::sim::event::{EventKind, EventQueue, QueueKind};
+
+        let mut wheel = EventQueue::with_backend(QueueKind::TimerWheel);
+        let mut heap = EventQueue::with_backend(QueueKind::BinaryHeap);
+        // The wheel cannot schedule into the past. Its time frontier is
+        // the last popped event — including events dropped as stale
+        // inside `pop`, so after a `pop` that returns `None` the
+        // frontier may sit at the latest timestamp ever scheduled.
+        let mut now = 0u64;
+        let mut high = 0u64;
+        let ctr = |a: u64, b: u64| ContainerId::from_parts((a % 4) as u32, (b % 8) as u32);
+        for (op, a, b, c) in ops {
+            match op {
+                // Schedule one event of every kind, at spreads from
+                // "this very microsecond" to minutes out (crossing
+                // several wheel levels).
+                0..=2 => {
+                    let time = Instant::from_micros(now + a % 100_000_000);
+                    high = high.max(time.as_micros());
+                    let kind = match b % 5 {
+                        0 => EventKind::Arrival { function: FunctionId::new((c % 6) as u32) },
+                        1 => EventKind::InitComplete { container: ctr(b, c), epoch: a % 4 },
+                        2 => EventKind::ExecComplete { container: ctr(b, c) },
+                        3 => EventKind::IdleTimeout { container: ctr(b, c), epoch: a % 4 },
+                        _ => EventKind::PrewarmFire { function: FunctionId::new((c % 6) as u32) },
+                    };
+                    wheel.push(time, kind.clone());
+                    heap.push(time, kind);
+                }
+                // Invalidate stale epochs / whole containers.
+                3 => {
+                    wheel.note(ctr(a, b), c % 5);
+                    heap.note(ctr(a, b), c % 5);
+                }
+                4 => {
+                    wheel.retire(ctr(a, b));
+                    heap.retire(ctr(a, b));
+                }
+                // Pop a few from both and compare exactly.
+                _ => {
+                    for _ in 0..=(b % 3) {
+                        let (x, y) = (wheel.pop(), heap.pop());
+                        prop_assert_eq!(&x, &y);
+                        match x {
+                            Some(e) => now = e.time.as_micros(),
+                            None => {
+                                now = high;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+        }
+        // Drain both to the end: the full remaining sequences agree.
+        loop {
+            let (x, y) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(&x, &y);
+            if x.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty() && heap.is_empty());
+    }
+}
+
 // Whole mini-simulations under proptest get fewer cases: they are
 // comparatively expensive.
 proptest! {
