@@ -12,8 +12,15 @@
 //!
 //! `stress --smoke` runs a small one-hour trace through the identical
 //! pipeline and asserts the parallel per-worker reports are
-//! byte-identical to executing the same sub-traces sequentially — this
+//! byte-identical to executing the same sub-traces sequentially, then
+//! (in release builds, when a committed stress artifact exists) asserts
+//! each policy still reaches at least half its recorded events/s — this
 //! is the CI guard; the full run is for the committed artifact.
+//!
+//! `stress --policy <name>` (repeatable) restricts the full run to the
+//! named backends for profiling. Filtered runs print their numbers but
+//! skip the artifact write, so the `BENCH_<seq>.json` series stays
+//! full-suite comparable.
 
 use std::time::Instant as WallInstant;
 
@@ -79,6 +86,94 @@ fn run_policy(
     }
 }
 
+/// Per-policy events/s from the newest `BENCH_<seq>.json` artifact in
+/// `dir` carrying the stress schema, if any.
+fn baseline_events_per_s(dir: &str) -> Option<(String, Vec<(String, f64)>)> {
+    let existing: Vec<String> = (1..10_000)
+        .map(|i| format!("{dir}/BENCH_{i:04}.json"))
+        .filter(|p| std::path::Path::new(p).exists())
+        .collect();
+    for path in existing.into_iter().rev() {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        if !text.contains("\"schema\":\"rainbowcake-stress/1\"") {
+            continue;
+        }
+        let mut rows = Vec::new();
+        for chunk in text.split("{\"name\":\"").skip(1) {
+            let Some(name) = chunk.split('"').next() else {
+                continue;
+            };
+            let eps = chunk
+                .split("\"events_per_s\":")
+                .nth(1)
+                .and_then(|rest| rest.split([',', '}']).next())
+                .and_then(|num| num.trim().parse::<f64>().ok());
+            if let Some(eps) = eps {
+                rows.push((name.to_string(), eps));
+            }
+        }
+        if !rows.is_empty() {
+            return Some((path, rows));
+        }
+    }
+    None
+}
+
+/// Loose throughput floor against the committed stress artifact: each
+/// policy must reach at least half its recorded events/s on a scaled
+/// -down trace, so a future change can't silently re-quadratify the
+/// eviction path without tripping CI.
+fn perf_smoke() {
+    let dir = std::env::var("PERF_BASELINE_DIR").unwrap_or_else(|_| ".".to_string());
+    let Some((path, baseline)) = baseline_events_per_s(&dir) else {
+        println!("perf smoke: no rainbowcake-stress/1 artifact found, skipping");
+        return;
+    };
+    if cfg!(debug_assertions) {
+        println!("perf smoke: debug build, skipping throughput floors");
+        return;
+    }
+    let catalog = paper_catalog();
+    // Large enough to amortize startup, small enough for CI: ~4% of the
+    // full stress trace.
+    let trace = azure_like_trace(
+        catalog.len(),
+        &AzureConfig {
+            hours: 8,
+            rate_scale: 4.0,
+            ..AzureConfig::default()
+        },
+    );
+    let subs = route(&catalog, &trace);
+    let config = SimConfig {
+        streaming_metrics: true,
+        ..SimConfig::default()
+    };
+    let threads = parallel::worker_threads().max(2);
+    for (name, base_eps) in &baseline {
+        // Best of two: absorbs one-off cache/alloc warmup noise.
+        let mut best = 0.0f64;
+        for _ in 0..2 {
+            let t0 = WallInstant::now();
+            let completed: usize = run_policy(&catalog, name, &subs, &config, threads)
+                .iter()
+                .map(|r| r.invocations())
+                .sum();
+            best = best.max(completed as f64 / t0.elapsed().as_secs_f64());
+        }
+        let floor = 0.5 * base_eps;
+        assert!(
+            best >= floor,
+            "{name}: {best:.0} events/s is below half the recorded baseline \
+             ({base_eps:.0} in {path}) — the eviction path likely regressed"
+        );
+        println!("perf smoke {name}: {best:.0} events/s (floor {floor:.0})");
+    }
+    println!("perf smoke passed against {path}");
+}
+
 fn smoke() {
     let catalog = paper_catalog();
     let trace = azure_like_trace(
@@ -115,7 +210,47 @@ fn smoke() {
         assert!(completed > 0, "{name} completed nothing");
         println!("smoke {name}: {completed} invocations, parallel == sequential");
     }
+    perf_smoke();
     println!("stress --smoke passed");
+}
+
+/// Parses repeatable `--policy <name>` / `--policy=<name>` filters.
+/// Returns the selected policies in `BASELINE_NAMES` order, or the full
+/// suite when no filter is given.
+///
+/// # Panics
+///
+/// Panics on an unknown policy name or a missing argument.
+fn policy_filter() -> Vec<&'static str> {
+    let mut wanted = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let name = if arg == "--policy" {
+            args.next().expect("--policy requires a name")
+        } else if let Some(v) = arg.strip_prefix("--policy=") {
+            v.to_string()
+        } else {
+            continue;
+        };
+        let known = BASELINE_NAMES
+            .iter()
+            .find(|&&n| n == name)
+            .unwrap_or_else(|| {
+                panic!("unknown policy {name:?}; expected one of {BASELINE_NAMES:?}")
+            });
+        if !wanted.contains(known) {
+            wanted.push(*known);
+        }
+    }
+    if wanted.is_empty() {
+        BASELINE_NAMES.to_vec()
+    } else {
+        // Keep the suite's presentation order regardless of flag order.
+        BASELINE_NAMES
+            .into_iter()
+            .filter(|n| wanted.contains(n))
+            .collect()
+    }
 }
 
 fn main() {
@@ -123,6 +258,8 @@ fn main() {
         smoke();
         return;
     }
+    let selected = policy_filter();
+    let filtered = selected.len() != BASELINE_NAMES.len();
 
     let threads = parallel::worker_threads().max(2);
     let azure = AzureConfig {
@@ -149,7 +286,7 @@ fn main() {
     };
 
     let mut rows = Vec::new();
-    for name in BASELINE_NAMES {
+    for name in selected {
         let t0 = WallInstant::now();
         let reports = run_policy(&catalog, name, &subs, &config, threads);
         let wall = t0.elapsed().as_secs_f64();
@@ -170,6 +307,13 @@ fn main() {
             fmt_f64(wall),
             fmt_f64(eps),
         ));
+    }
+
+    if filtered {
+        // A partial run is for profiling only: writing it out would
+        // break cross-artifact comparability of the BENCH series.
+        println!("policy filter active: skipping artifact write");
+        return;
     }
 
     let json = format!(

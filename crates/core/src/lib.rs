@@ -67,7 +67,7 @@ pub mod prelude {
     pub use crate::mem::{GbSeconds, MemMb};
     pub use crate::policy::{
         ArrivalResponse, ContainerView, Policy, PolicyCtx, PrewarmDecision, PrewarmRequest,
-        ReuseClass, TimeoutDecision,
+        ReuseClass, ReuseScope, TimeoutDecision,
     };
     pub use crate::profile::{Catalog, FunctionProfile};
     pub use crate::rainbow::{RainbowCake, RainbowConfig, RainbowVariant};

@@ -75,6 +75,22 @@ pub enum ReuseClass {
     SharedBare,
 }
 
+/// How broadly a policy's [`Policy::reuse_class`] can match, so the
+/// platform knows which idle containers it must offer on an arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReuseScope {
+    /// `reuse_class` may grant a class to *any* idle container
+    /// (layer-sharing schemes); the platform must offer every one.
+    All,
+    /// `reuse_class` returns `None` unless the container is owned by the
+    /// arriving function (`owner == Some(f)`) or packed with it
+    /// (`packed.contains(&f)`) — the shape of the default
+    /// implementation. The platform may then serve arrivals from its
+    /// per-function owner and packed indices and skip every other idle
+    /// container.
+    OwnedOrPacked,
+}
+
 /// Pre-warm request emitted from [`Policy::on_arrival`]: "after `delay`,
 /// consider warming a container for `function` up to `target`".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +201,17 @@ pub trait Policy {
         }
     }
 
+    /// The candidate scope [`Self::reuse_class`] draws from. Policies
+    /// that keep the default owned-or-packed `reuse_class` should return
+    /// [`ReuseScope::OwnedOrPacked`] so the platform can serve arrivals
+    /// from its per-function indices instead of scanning the whole idle
+    /// set. Must be consistent with `reuse_class`: declaring the narrow
+    /// scope while granting classes outside it makes the platform miss
+    /// those candidates. The default is the always-correct [`ReuseScope::All`].
+    fn reuse_scope(&self) -> ReuseScope {
+        ReuseScope::All
+    }
+
     /// Called when a container becomes idle (after completing an
     /// execution, or after a pre-warm finishes). Returns the keep-alive
     /// TTL for the container's current layer.
@@ -232,11 +259,89 @@ pub trait Policy {
             .map(|c| c.id)
     }
 
+    /// Batch form of [`select_victim`]: chooses the victims to evict, in
+    /// eviction order, whose cumulative memory covers `need` (the
+    /// platform's current memory deficit). The platform builds
+    /// `candidates` — all idle containers, in ascending id order —
+    /// **once** per reclamation, then destroys the returned victims in
+    /// order, re-checking its budget between kills; a sequence that
+    /// under-covers `need` means the policy refuses to free more (the
+    /// platform then queues the work).
+    ///
+    /// The default implementation replays the classic
+    /// one-victim-at-a-time protocol — [`select_victim`] over the
+    /// shrinking candidate list — so existing policies keep byte-exact
+    /// eviction sequences. Policies whose victim order does not depend
+    /// on previously evicted victims should override this with a
+    /// sorted or index-backed fast path (see [`lru_victims`]).
+    ///
+    /// [`select_victim`]: Policy::select_victim
+    fn select_victims(
+        &mut self,
+        ctx: &PolicyCtx<'_>,
+        candidates: &[ContainerView],
+        need: MemMb,
+    ) -> Vec<ContainerId> {
+        sequential_victims(self, ctx, candidates, need)
+    }
+
     /// Notification that a container was destroyed (TTL expiry or
     /// eviction); lets stateful policies clean internal maps.
     fn on_terminated(&mut self, ctx: &PolicyCtx<'_>, id: ContainerId) {
         let _ = (ctx, id);
     }
+}
+
+/// The reference implementation of [`Policy::select_victims`]: repeated
+/// [`Policy::select_victim`] over the shrinking candidate list until
+/// `need` is covered, the policy refuses, or candidates run out. Batch
+/// overrides must produce exactly this victim sequence — the platform's
+/// determinism guarantee (simulations serialize byte-identically)
+/// depends on it.
+pub fn sequential_victims<P: Policy + ?Sized>(
+    policy: &mut P,
+    ctx: &PolicyCtx<'_>,
+    candidates: &[ContainerView],
+    need: MemMb,
+) -> Vec<ContainerId> {
+    let mut remaining = candidates.to_vec();
+    let mut victims = Vec::new();
+    let mut freed = MemMb::ZERO;
+    while freed < need && !remaining.is_empty() {
+        let Some(victim) = policy.select_victim(ctx, &remaining) else {
+            break;
+        };
+        let pos = remaining
+            .iter()
+            .position(|c| c.id == victim)
+            .expect("victim must be one of the candidates");
+        freed += remaining[pos].memory;
+        victims.push(victim);
+        remaining.remove(pos);
+    }
+    victims
+}
+
+/// Batch equivalent of the default LRU [`Policy::select_victim`]: the
+/// least-recently-idle prefix (ties broken by id) covering `need`. One
+/// sort instead of one scan per victim — the fast path for every policy
+/// whose eviction order ignores previously evicted victims.
+pub fn lru_victims(candidates: &[ContainerView], need: MemMb) -> Vec<ContainerId> {
+    let mut order: Vec<(Instant, ContainerId, MemMb)> = candidates
+        .iter()
+        .map(|c| (c.idle_since, c.id, c.memory))
+        .collect();
+    order.sort_unstable_by_key(|&(since, id, _)| (since, id));
+    let mut victims = Vec::new();
+    let mut freed = MemMb::ZERO;
+    for (_, id, memory) in order {
+        if freed >= need {
+            break;
+        }
+        freed += memory;
+        victims.push(id);
+    }
+    victims
 }
 
 /// Startup latency `f` pays when reusing an idle container via `class`
@@ -352,6 +457,40 @@ mod tests {
         let c = ctx(&catalog);
         let cands = vec![view(Layer::User, None, 30), view(Layer::User, None, 10)];
         assert_eq!(p.select_victim(&c, &cands), Some(ContainerId::new(10)));
+    }
+
+    #[test]
+    fn batch_selection_covers_need_in_lru_order() {
+        let mut catalog = Catalog::new();
+        catalog.push(FunctionProfile::synthetic(
+            FunctionId::new(0),
+            Language::Python,
+        ));
+        let mut p = FixedTtl;
+        let c = ctx(&catalog);
+        let cands = vec![
+            view(Layer::User, None, 30),
+            view(Layer::User, None, 10),
+            view(Layer::User, None, 20),
+        ];
+        // Each view is 100 MB: a 150 MB deficit needs the two oldest.
+        let victims = p.select_victims(&c, &cands, MemMb::new(150));
+        assert_eq!(victims, vec![ContainerId::new(10), ContainerId::new(20)]);
+        assert_eq!(victims, lru_victims(&cands, MemMb::new(150)));
+        // An uncoverable deficit drains every candidate, in order.
+        let all = p.select_victims(&c, &cands, MemMb::new(1_000));
+        assert_eq!(
+            all,
+            vec![
+                ContainerId::new(10),
+                ContainerId::new(20),
+                ContainerId::new(30)
+            ]
+        );
+        assert_eq!(all, lru_victims(&cands, MemMb::new(1_000)));
+        // A zero deficit evicts nothing.
+        assert!(p.select_victims(&c, &cands, MemMb::ZERO).is_empty());
+        assert!(lru_victims(&cands, MemMb::ZERO).is_empty());
     }
 
     #[test]

@@ -4,8 +4,9 @@
 use crate::cost::CostModel;
 use crate::error::ConfigError;
 use crate::history::{HistoryRecorder, ShareScope};
+use crate::mem::MemMb;
 use crate::policy::{
-    ArrivalResponse, ContainerView, Policy, PolicyCtx, ReuseClass, TimeoutDecision,
+    lru_victims, ArrivalResponse, ContainerView, Policy, PolicyCtx, ReuseClass, TimeoutDecision,
 };
 use crate::profile::Catalog;
 use crate::time::Micros;
@@ -315,6 +316,49 @@ impl Policy for RainbowCake {
                         .then(a.id.cmp(&b.id))
                 })
                 .map(|c| c.id),
+        }
+    }
+
+    fn select_victims(
+        &mut self,
+        ctx: &PolicyCtx<'_>,
+        candidates: &[ContainerView],
+        need: MemMb,
+    ) -> Vec<ContainerId> {
+        match self.config.eviction {
+            EvictionOrder::Lru => lru_victims(candidates, need),
+            EvictionOrder::LayerAware => {
+                // A candidate's score is independent of what else gets
+                // evicted, so scoring once and taking the best-scored
+                // prefix replays exactly the repeated `max_by`
+                // extraction of the one-at-a-time protocol.
+                let mut scored: Vec<(f64, ContainerId, MemMb)> = candidates
+                    .iter()
+                    .map(|c| {
+                        let f = self.anchor_function(ctx, c);
+                        let profile = ctx.profile(f);
+                        let warmth = (profile.cold_startup() - profile.startup_from(Some(c.layer)))
+                            .as_secs_f64()
+                            .max(1e-9);
+                        (c.memory.as_gb_f64() / warmth, c.id, c.memory)
+                    })
+                    .collect();
+                scored.sort_unstable_by(|a, b| {
+                    b.0.partial_cmp(&a.0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.1.cmp(&a.1))
+                });
+                let mut victims = Vec::new();
+                let mut freed = MemMb::ZERO;
+                for (_, id, memory) in scored {
+                    if freed >= need {
+                        break;
+                    }
+                    freed += memory;
+                    victims.push(id);
+                }
+                victims
+            }
         }
     }
 }

@@ -15,17 +15,37 @@
 //! an aging term set to the priority of the last eviction). This is the
 //! Greedy-Dual-Size-Frequency algorithm.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
-use rainbowcake_core::policy::{ContainerView, Policy, PolicyCtx, TimeoutDecision};
+use rainbowcake_core::mem::MemMb;
+use rainbowcake_core::policy::{
+    sequential_victims, ContainerView, Policy, PolicyCtx, ReuseScope, TimeoutDecision,
+};
 use rainbowcake_core::time::Micros;
 use rainbowcake_core::types::ContainerId;
 
 /// The FaasCache greedy-dual keep-alive policy.
+///
+/// Victim selection is backed by a **lazy min-heap** over the cached
+/// priorities: every [`Policy::on_idle`] pushes the container's fresh
+/// `(priority, id)` entry without removing superseded ones, and
+/// staleness is decided only when an entry is popped — an entry is live
+/// iff its priority still matches the `priorities` map (termination
+/// removes the map entry, re-idling overwrites it, and either way the
+/// old heap entry dies at its next pop). Batch victim selection is
+/// therefore O(log n) amortized per pop instead of a full priority scan
+/// per evicted container.
+///
+/// Priorities are finite and non-negative (`clock ≥ 0`, `freq × cost /
+/// size > 0`), so their IEEE-754 bit patterns order exactly like the
+/// floats — the heap stores `priority.to_bits()` and needs no float
+/// `Ord` wrapper.
 #[derive(Debug, Clone, Default)]
 pub struct FaasCache {
     clock: f64,
     priorities: HashMap<ContainerId, f64>,
+    heap: BinaryHeap<Reverse<(u64, ContainerId)>>,
 }
 
 impl FaasCache {
@@ -59,6 +79,10 @@ impl Policy for FaasCache {
         // Keep-alive forever: eviction is the only way out of the pool.
         let p = self.priority(ctx, c);
         self.priorities.insert(c.id, p);
+        // Lazy re-push: any previous heap entry for this container is
+        // now stale (its priority no longer matches the map) and will be
+        // discarded when popped.
+        self.heap.push(Reverse((p.to_bits(), c.id)));
         Micros::MAX
     }
 
@@ -96,6 +120,69 @@ impl Policy for FaasCache {
             .unwrap_or_else(|| self.priority(ctx, victim));
         self.clock = self.clock.max(p);
         Some(victim.id)
+    }
+
+    fn reuse_scope(&self) -> ReuseScope {
+        // Greedy-dual caching keeps the default owned-or-packed
+        // `reuse_class`, so arrivals can be served from the
+        // per-function pool indices.
+        ReuseScope::OwnedOrPacked
+    }
+
+    fn select_victims(
+        &mut self,
+        ctx: &PolicyCtx<'_>,
+        candidates: &[ContainerView],
+        need: MemMb,
+    ) -> Vec<ContainerId> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        if candidates
+            .iter()
+            .any(|c| !self.priorities.contains_key(&c.id))
+        {
+            // A candidate was never reported idle (only possible when
+            // the hooks are driven by hand): fall back to the exact
+            // sequential protocol, which prices unknown containers
+            // freshly under the advancing clock.
+            return sequential_victims(self, ctx, candidates, need);
+        }
+        debug_assert!(
+            candidates.windows(2).all(|w| w[0].id < w[1].id),
+            "candidates must arrive in ascending id order"
+        );
+        let mut victims = Vec::new();
+        let mut taken = vec![false; candidates.len()];
+        let mut freed = MemMb::ZERO;
+        // Entries popped while live (busy containers, duplicates, and
+        // the victims themselves) go back at the end: staleness is
+        // decided only at pop time, never eagerly. A selected victim's
+        // re-pushed entry dies at its next pop once `on_terminated`
+        // drops its map entry — and stays valid if the platform skips
+        // the eviction after all.
+        let mut live = Vec::new();
+        while freed < need {
+            let Some(Reverse((bits, id))) = self.heap.pop() else {
+                break;
+            };
+            if self.priorities.get(&id).map(|p| p.to_bits()) != Some(bits) {
+                continue; // stale: superseded or terminated, drop for good
+            }
+            live.push(Reverse((bits, id)));
+            if let Ok(pos) = candidates.binary_search_by(|c| c.id.cmp(&id)) {
+                if !taken[pos] {
+                    taken[pos] = true;
+                    // Age the cache: the clock advances to the evicted
+                    // priority, exactly as the per-victim path does.
+                    self.clock = self.clock.max(f64::from_bits(bits));
+                    freed += candidates[pos].memory;
+                    victims.push(id);
+                }
+            }
+        }
+        self.heap.extend(live);
+        victims
     }
 
     fn on_terminated(&mut self, _: &PolicyCtx<'_>, id: ContainerId) {
@@ -194,6 +281,75 @@ mod tests {
         p.on_idle(&cx, &a);
         assert_eq!(p.clock(), 0.0);
         p.select_victim(&cx, &[a]);
+        assert!(p.clock() > 0.0);
+    }
+
+    #[test]
+    fn batch_selection_matches_repeated_single_selection() {
+        let c = catalog();
+        let cx = ctx(&c);
+        // A mixed pool: varying sizes, frequencies, and owners.
+        let views = vec![
+            view(0, 0, 100, 10),
+            view(1, 0, 400, 1),
+            view(2, 1, 200, 1),
+            view(3, 0, 200, 3),
+            view(4, 1, 300, 7),
+        ];
+        let mut batch = FaasCache::new();
+        let mut single = FaasCache::new();
+        for v in &views {
+            batch.on_idle(&cx, v);
+            single.on_idle(&cx, v);
+            // Duplicate pushes (same priority) must not double-select.
+            batch.on_idle(&cx, v);
+        }
+        // Reference: the classic one-at-a-time protocol.
+        let mut remaining = views.clone();
+        let mut expect = Vec::new();
+        let mut freed = 0u64;
+        while freed < 800 {
+            let victim = single.select_victim(&cx, &remaining).unwrap();
+            let pos = remaining.iter().position(|v| v.id == victim).unwrap();
+            freed += remaining[pos].memory.as_mb();
+            expect.push(victim);
+            remaining.remove(pos);
+        }
+        let got = batch.select_victims(&cx, &views, MemMb::new(800));
+        assert_eq!(got, expect);
+        assert_eq!(batch.clock(), single.clock());
+    }
+
+    #[test]
+    fn busy_containers_survive_batch_selection() {
+        let c = catalog();
+        let cx = ctx(&c);
+        let mut p = FaasCache::new();
+        let a = view(0, 0, 100, 1);
+        let b = view(1, 0, 100, 5);
+        p.on_idle(&cx, &a);
+        p.on_idle(&cx, &b);
+        // Only `b` is idle right now: `a` must be skipped even though it
+        // has the lower priority, and must still be selectable later.
+        assert_eq!(
+            p.select_victims(&cx, std::slice::from_ref(&b), MemMb::new(50)),
+            vec![ContainerId::new(1)]
+        );
+        assert_eq!(
+            p.select_victims(&cx, std::slice::from_ref(&a), MemMb::new(50)),
+            vec![ContainerId::new(0)]
+        );
+    }
+
+    #[test]
+    fn uncached_candidates_fall_back_to_sequential_scan() {
+        let c = catalog();
+        let cx = ctx(&c);
+        let mut p = FaasCache::new();
+        // No on_idle priming at all: selection must still work.
+        let views = vec![view(0, 0, 100, 1), view(1, 0, 400, 1)];
+        let victims = p.select_victims(&cx, &views, MemMb::new(100));
+        assert_eq!(victims, vec![ContainerId::new(1)]);
         assert!(p.clock() > 0.0);
     }
 

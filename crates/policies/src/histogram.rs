@@ -14,11 +14,12 @@
 //! histogram range, fall back to a fixed 10-minute keep-alive (the
 //! "standard keep-alive" fallback in the original paper).
 
+use rainbowcake_core::mem::MemMb;
 use rainbowcake_core::policy::{
-    ArrivalResponse, ContainerView, Policy, PolicyCtx, TimeoutDecision,
+    lru_victims, ArrivalResponse, ContainerView, Policy, PolicyCtx, ReuseScope, TimeoutDecision,
 };
 use rainbowcake_core::time::{Instant, Micros};
-use rainbowcake_core::types::{FunctionId, Layer};
+use rainbowcake_core::types::{ContainerId, FunctionId, Layer};
 
 /// Histogram range: 1-minute bins covering up to 4 hours.
 pub const BINS: usize = 240;
@@ -140,6 +141,21 @@ impl Policy for Histogram {
 
     fn on_timeout(&mut self, _: &PolicyCtx<'_>, _: &ContainerView) -> TimeoutDecision {
         TimeoutDecision::Terminate
+    }
+
+    fn reuse_scope(&self) -> ReuseScope {
+        // Keeps the default owned-or-packed `reuse_class`, so arrivals
+        // can be served from the per-function pool indices.
+        ReuseScope::OwnedOrPacked
+    }
+
+    fn select_victims(
+        &mut self,
+        _: &PolicyCtx<'_>,
+        candidates: &[ContainerView],
+        need: MemMb,
+    ) -> Vec<ContainerId> {
+        lru_victims(candidates, need)
     }
 }
 

@@ -3,8 +3,12 @@
 //! platforms (AWS Lambda, Google Cloud Functions, Azure Functions) use
 //! a similar fixed-window strategy.
 
-use rainbowcake_core::policy::{ContainerView, Policy, PolicyCtx, TimeoutDecision};
+use rainbowcake_core::mem::MemMb;
+use rainbowcake_core::policy::{
+    lru_victims, ContainerView, Policy, PolicyCtx, ReuseScope, TimeoutDecision,
+};
 use rainbowcake_core::time::Micros;
+use rainbowcake_core::types::ContainerId;
 
 /// The fixed keep-alive window used by OpenWhisk.
 pub const OPENWHISK_TTL: Micros = Micros::from_mins(10);
@@ -44,6 +48,21 @@ impl Policy for OpenWhiskDefault {
 
     fn on_timeout(&mut self, _: &PolicyCtx<'_>, _: &ContainerView) -> TimeoutDecision {
         TimeoutDecision::Terminate
+    }
+
+    fn reuse_scope(&self) -> ReuseScope {
+        // Keeps the default owned-or-packed `reuse_class`, so arrivals
+        // can be served from the per-function pool indices.
+        ReuseScope::OwnedOrPacked
+    }
+
+    fn select_victims(
+        &mut self,
+        _: &PolicyCtx<'_>,
+        candidates: &[ContainerView],
+        need: MemMb,
+    ) -> Vec<ContainerId> {
+        lru_victims(candidates, need)
     }
 }
 

@@ -9,11 +9,12 @@
 //! price is an over-packed, heavyweight container — exactly the memory
 //! overhead RainbowCake's layer-wise design avoids (§2.2-2.3).
 
+use rainbowcake_core::mem::MemMb;
 use rainbowcake_core::policy::{
-    ArrivalResponse, ContainerView, Policy, PolicyCtx, TimeoutDecision,
+    lru_victims, ArrivalResponse, ContainerView, Policy, PolicyCtx, ReuseScope, TimeoutDecision,
 };
 use rainbowcake_core::time::{Instant, Micros};
-use rainbowcake_core::types::FunctionId;
+use rainbowcake_core::types::{ContainerId, FunctionId};
 
 /// The Pagurus inter-function container-sharing policy.
 #[derive(Debug, Clone)]
@@ -116,6 +117,22 @@ impl Policy for Pagurus {
             extra_functions: candidates,
             ttl: self.shared_ttl,
         }
+    }
+
+    fn reuse_scope(&self) -> ReuseScope {
+        // Pagurus reuse is exactly owner-or-packed (the zombie lending
+        // model), so arrivals can be served from the per-function pool
+        // indices — including the packed one its repacks populate.
+        ReuseScope::OwnedOrPacked
+    }
+
+    fn select_victims(
+        &mut self,
+        _: &PolicyCtx<'_>,
+        candidates: &[ContainerView],
+        need: MemMb,
+    ) -> Vec<ContainerId> {
+        lru_victims(candidates, need)
     }
 }
 

@@ -16,9 +16,12 @@
 //! * no pre-warming and no sharing-aware adaptation: all windows are
 //!   fixed.
 
-use rainbowcake_core::policy::{ContainerView, Policy, PolicyCtx, ReuseClass, TimeoutDecision};
+use rainbowcake_core::mem::MemMb;
+use rainbowcake_core::policy::{
+    lru_victims, ContainerView, Policy, PolicyCtx, ReuseClass, TimeoutDecision,
+};
 use rainbowcake_core::time::Micros;
-use rainbowcake_core::types::{FunctionId, Layer};
+use rainbowcake_core::types::{ContainerId, FunctionId, Layer};
 
 /// SEUSS-style partial caching with fixed per-level windows.
 #[derive(Debug, Clone)]
@@ -88,6 +91,15 @@ impl Policy for Seuss {
             Layer::User => TimeoutDecision::Downgrade { ttl: self.lang_ttl },
             _ => TimeoutDecision::Terminate,
         }
+    }
+
+    fn select_victims(
+        &mut self,
+        _: &PolicyCtx<'_>,
+        candidates: &[ContainerView],
+        need: MemMb,
+    ) -> Vec<ContainerId> {
+        lru_victims(candidates, need)
     }
 }
 

@@ -18,7 +18,7 @@ use rand::SeedableRng;
 use rainbowcake_core::lifecycle::LifecycleEvent;
 use rainbowcake_core::mem::MemMb;
 use rainbowcake_core::policy::{
-    ContainerView, Policy, PolicyCtx, PrewarmDecision, ReuseClass, TimeoutDecision,
+    ContainerView, Policy, PolicyCtx, PrewarmDecision, ReuseClass, ReuseScope, TimeoutDecision,
 };
 use rainbowcake_core::profile::{Catalog, FunctionProfile};
 use rainbowcake_core::time::{Instant, Micros};
@@ -84,10 +84,10 @@ struct Engine<'a> {
     first_arrival: Vec<Option<Instant>>,
     now: Instant,
     // Scratch buffers reused across arrivals so the hot path allocates
-    // nothing in steady state. Each user takes a buffer with
-    // `std::mem::take` and puts it back when done; the users never nest
-    // on the same buffer (`try_place` returns the view buffer before
-    // executing placements, which is when `ensure_memory` needs it).
+    // nothing in steady state. The arrival path reads idle candidates
+    // straight out of the pool's generation-tracked view cache; the
+    // view buffer is only needed for the rare eviction-with-exclusion
+    // case, so the two users never nest.
     scratch_views: Vec<ContainerView>,
     scratch_options: Vec<(Micros, u8, Placement)>,
 }
@@ -293,39 +293,59 @@ impl<'a> Engine<'a> {
     /// admitted now). Returns false if no placement is possible under the
     /// current memory budget.
     fn try_place(&mut self, f: FunctionId, arrival: Instant) -> bool {
-        let profile = self.catalog.profile(f).clone();
+        // `catalog` is a shared borrow independent of `self`, so the
+        // profile needs no clone — the arrival hot path allocates
+        // nothing.
+        let profile = self.catalog.profile(f);
         let mut options = std::mem::take(&mut self.scratch_options);
         options.clear();
 
         // Idle-container reuse options sanctioned by the policy: the
-        // best candidate of each reuse class, selected in one linear
-        // pass. Candidates arrive in id (creation) order and a slot is
-        // replaced only by a *strictly* more recent `idle_since`, so
-        // the winner per class is the most recently idle container with
-        // the lowest id — exactly what the old
-        // `sort_by_key((class, Reverse(since), id))` + first-per-class
-        // retain produced.
+        // best candidate of each reuse class. Candidates are visited in
+        // id (creation) order and a slot is replaced only by a
+        // *strictly* more recent `idle_since`, so the winner per class
+        // is the most recently idle container with the lowest id —
+        // exactly what the old `sort_by_key((class, Reverse(since),
+        // id))` + first-per-class retain produced.
+        //
+        // Policies declaring `ReuseScope::OwnedOrPacked` grant classes
+        // only to containers owned by or packed with `f`, so the scan
+        // is served from the two per-function pool indices instead of
+        // the whole idle set. Each index yields id order and each class
+        // draws from exactly one of them (owner => WarmUser beats the
+        // packed check), so the per-class winners match the full scan;
+        // a container both owned and packed is visited twice, but the
+        // strict replacement rule makes the repeat a no-op.
         {
-            let mut views = std::mem::take(&mut self.scratch_views);
-            self.pool.idle_views_into(None, &mut views);
             let ctx = self.ctx();
             let mut best: [Option<(ContainerId, Instant)>; 5] = [None; 5];
-            for v in &views {
-                if let Some(class) = self.policy.reuse_class(&ctx, f, v) {
-                    let slot = &mut best[class_rank(class) as usize];
-                    match slot {
-                        Some((_, since)) if *since >= v.idle_since => {}
-                        _ => *slot = Some((v.id, v.idle_since)),
+            {
+                let Engine { pool, policy, .. } = &mut *self;
+                match policy.reuse_scope() {
+                    ReuseScope::All => {
+                        for v in pool.cached_idle_views() {
+                            if let Some(class) = policy.reuse_class(&ctx, f, v) {
+                                consider(&mut best, class, v.id, v.idle_since);
+                            }
+                        }
+                    }
+                    ReuseScope::OwnedOrPacked => {
+                        let ids = pool.idle_user_ids(f).chain(pool.idle_packed_ids(f));
+                        for id in ids {
+                            let v = pool.get(id).expect("indexed idle container exists").view();
+                            if let Some(class) = policy.reuse_class(&ctx, f, &v) {
+                                consider(&mut best, class, v.id, v.idle_since);
+                            }
+                        }
                     }
                 }
             }
-            self.scratch_views = views;
             // Warmest class first, so the contended-transition RNG
             // draws happen in the same order as before.
             for (rank, entry) in best.iter().enumerate() {
                 if let Some((id, _)) = *entry {
                     let class = CLASS_BY_RANK[rank];
-                    let startup = self.startup_reuse(&profile, class);
+                    let startup = self.startup_reuse(profile, class);
                     options.push((startup, rank as u8, Placement::Reuse(id, class)));
                 }
             }
@@ -339,7 +359,7 @@ impl<'a> Engine<'a> {
         }
 
         // Cold start.
-        let cold = self.startup_cold(&profile);
+        let cold = self.startup_cold(profile);
         options.push((cold, 6, Placement::Cold));
 
         // Try placements cheapest-first by repeated minimum selection
@@ -371,10 +391,10 @@ impl<'a> Engine<'a> {
             let (startup, _, placement) = options[i];
             let ok = match placement {
                 Placement::Reuse(id, class) => {
-                    self.execute_reuse(id, class, f, &profile, arrival, startup)
+                    self.execute_reuse(id, class, f, profile, arrival, startup)
                 }
-                Placement::Attach(id) => self.execute_attach(id, f, &profile, arrival, startup),
-                Placement::Cold => self.execute_cold(f, &profile, arrival, startup),
+                Placement::Attach(id) => self.execute_attach(id, f, profile, arrival, startup),
+                Placement::Cold => self.execute_cold(f, profile, arrival, startup),
             };
             if ok {
                 placed = true;
@@ -542,32 +562,47 @@ impl<'a> Engine<'a> {
 
     /// Frees memory by evicting policy-chosen idle victims until `extra`
     /// fits. Returns false if that is impossible.
+    ///
+    /// The candidate list is built **once** per reclamation and handed
+    /// to the policy's batch [`Policy::select_victims`]; victims are
+    /// destroyed in the returned order with the budget re-checked
+    /// between kills. This is sequence-equivalent to the old
+    /// one-victim-per-iteration loop (destroying a victim removes
+    /// exactly that victim from the candidate set, and `fits` flips
+    /// precisely when the freed total covers `need`), but costs one
+    /// policy call instead of one per victim.
     fn ensure_memory(&mut self, extra: MemMb, exclude: Option<ContainerId>) -> bool {
-        let mut candidates = std::mem::take(&mut self.scratch_views);
-        let ok = loop {
-            if self.pool.fits(extra) {
-                break true;
-            }
+        if self.pool.fits(extra) {
+            return true;
+        }
+        // `fits` failed, so `used + extra > capacity` and the
+        // (saturating) difference is the exact shortfall.
+        let need = (self.pool.used() + extra) - self.pool.capacity();
+        let ctx = self.ctx();
+        let victims = if exclude.is_some() {
+            let mut candidates = std::mem::take(&mut self.scratch_views);
             self.pool.idle_views_into(exclude, &mut candidates);
-            if candidates.is_empty() {
-                break false;
-            }
-            let ctx = self.ctx();
-            let victim = match self.policy.select_victim(&ctx, &candidates) {
-                Some(v) => v,
-                None => break false,
-            };
-            debug_assert!(
-                candidates.iter().any(|c| c.id == victim),
-                "victim must be one of the candidates"
-            );
-            // No queue drain here: the freed memory is claimed by the
-            // caller, and draining would recurse through try_place.
-            self.destroy_idle(victim);
+            let victims = self.policy.select_victims(&ctx, &candidates, need);
+            candidates.clear();
+            self.scratch_views = candidates;
+            victims
+        } else {
+            let Engine { pool, policy, .. } = &mut *self;
+            policy.select_victims(&ctx, pool.cached_idle_views(), need)
         };
-        candidates.clear();
-        self.scratch_views = candidates;
-        ok
+        // No queue drain here: the freed memory is claimed by the
+        // caller, and draining would recurse through try_place.
+        for victim in victims {
+            if self.pool.fits(extra) {
+                break;
+            }
+            debug_assert!(
+                self.pool.get(victim).is_some_and(|c| c.is_idle()),
+                "victim must be a live idle container"
+            );
+            self.destroy_idle(victim);
+        }
+        self.pool.fits(extra)
     }
 
     /// Destroys an idle container, accounting its last idle interval as
@@ -775,13 +810,13 @@ impl<'a> Engine<'a> {
             PrewarmDecision::Skip => return,
             PrewarmDecision::Warm { target } => target,
         };
-        let profile = self.catalog.profile(f).clone();
+        let profile = self.catalog.profile(f);
         let mem = profile.memory_at(target);
         // Pre-warms are opportunistic: they never evict warm state.
         if !self.pool.fits(mem) {
             return;
         }
-        let duration = self.prewarm_duration(&profile, target);
+        let duration = self.prewarm_duration(profile, target);
         let language = (target >= Layer::Lang).then_some(profile.language);
         let id = self.pool.next_id();
         let c = Container::new_initializing(
@@ -814,6 +849,23 @@ impl<'a> Engine<'a> {
                 break;
             }
         }
+    }
+}
+
+/// Offers a candidate to the best-per-class table: a slot is replaced
+/// only by a *strictly* more recent `idle_since`, so within each class
+/// the winner is the most recently idle container with the lowest id
+/// (candidates are offered in id order).
+fn consider(
+    best: &mut [Option<(ContainerId, Instant)>; 5],
+    class: ReuseClass,
+    id: ContainerId,
+    idle_since: Instant,
+) {
+    let slot = &mut best[class_rank(class) as usize];
+    match slot {
+        Some((_, since)) if *since >= idle_since => {}
+        _ => *slot = Some((id, idle_since)),
     }
 }
 

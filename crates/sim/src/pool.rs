@@ -83,6 +83,11 @@ struct PoolIndex {
     idle: BTreeSet<ContainerId>,
     /// Idle `User` containers per owning function, in id order.
     idle_user_by_fn: BTreeMap<FunctionId, BTreeSet<ContainerId>>,
+    /// Idle `User` containers per packed function, in id order. Together
+    /// with `idle_user_by_fn` this covers every container the default
+    /// owned-or-packed reuse rule can match, so arrivals under that rule
+    /// never need to scan the whole idle set.
+    idle_packed_by_fn: BTreeMap<FunctionId, BTreeSet<ContainerId>>,
     /// Idle containers per installed language, in id order.
     idle_by_lang: BTreeMap<Language, BTreeSet<ContainerId>>,
     /// Attachable `User`-target initializations per function, ordered by
@@ -90,15 +95,34 @@ struct PoolIndex {
     attachable_by_fn: BTreeMap<FunctionId, BTreeSet<(Instant, ContainerId)>>,
     /// Containers currently in the `Initializing` state.
     initializing: usize,
+    /// Bumped whenever the idle set — or any view-visible field of an
+    /// idle container — changes. The pool's idle-view cache is valid
+    /// exactly while its recorded generation matches this counter.
+    idle_gen: u64,
+}
+
+/// The functions a container contributes to the idle-packed index: its
+/// packed set iff it is idle at the `User` layer — the only state in
+/// which the default `SharedPacked` reuse grant can apply.
+fn indexed_packed<'c>(key: &IndexKey, c: &'c Container) -> &'c [FunctionId] {
+    if key.idle && c.layer() == Some(Layer::User) {
+        &c.packed
+    } else {
+        &[]
+    }
 }
 
 impl PoolIndex {
-    fn link(&mut self, id: ContainerId, key: &IndexKey) {
+    fn link(&mut self, id: ContainerId, key: &IndexKey, packed: &[FunctionId]) {
         if key.idle {
             self.idle.insert(id);
+            self.idle_gen += 1;
         }
         if let Some(f) = key.idle_user {
             self.idle_user_by_fn.entry(f).or_default().insert(id);
+        }
+        for &f in packed {
+            self.idle_packed_by_fn.entry(f).or_default().insert(id);
         }
         if let Some(lang) = key.idle_lang {
             self.idle_by_lang.entry(lang).or_default().insert(id);
@@ -114,15 +138,24 @@ impl PoolIndex {
         }
     }
 
-    fn unlink(&mut self, id: ContainerId, key: &IndexKey) {
+    fn unlink(&mut self, id: ContainerId, key: &IndexKey, packed: &[FunctionId]) {
         if key.idle {
             self.idle.remove(&id);
+            self.idle_gen += 1;
         }
         if let Some(f) = key.idle_user {
             if let Some(set) = self.idle_user_by_fn.get_mut(&f) {
                 set.remove(&id);
                 if set.is_empty() {
                     self.idle_user_by_fn.remove(&f);
+                }
+            }
+        }
+        for &f in packed {
+            if let Some(set) = self.idle_packed_by_fn.get_mut(&f) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.idle_packed_by_fn.remove(&f);
                 }
             }
         }
@@ -155,6 +188,10 @@ pub struct ContainerMut<'p> {
     container: &'p mut Container,
     index: &'p mut PoolIndex,
     old_key: IndexKey,
+    /// The container's packed-index contribution at guard creation.
+    /// Empty in every state but an idle `User` container with a packed
+    /// set, so the clone is allocation-free on the hot path.
+    old_packed: Vec<FunctionId>,
 }
 
 impl Deref for ContainerMut<'_> {
@@ -173,9 +210,16 @@ impl DerefMut for ContainerMut<'_> {
 impl Drop for ContainerMut<'_> {
     fn drop(&mut self) {
         let new_key = IndexKey::of(self.container);
-        if new_key != self.old_key {
-            self.index.unlink(self.container.id, &self.old_key);
-            self.index.link(self.container.id, &new_key);
+        let new_packed = indexed_packed(&new_key, self.container);
+        if new_key != self.old_key || self.old_packed != new_packed {
+            self.index
+                .unlink(self.container.id, &self.old_key, &self.old_packed);
+            self.index.link(self.container.id, &new_key, new_packed);
+        } else if new_key.idle {
+            // Index placement unchanged, but the mutation may have
+            // touched a view-visible field the indices don't cover —
+            // invalidate the view cache.
+            self.index.idle_gen += 1;
         }
     }
 }
@@ -201,6 +245,11 @@ pub struct Pool {
     /// Lowest never-used slot.
     next_slot: u32,
     index: PoolIndex,
+    /// Cached idle views (id order), valid while `view_cache_gen`
+    /// matches `index.idle_gen`.
+    view_cache: Vec<ContainerView>,
+    /// The idle generation `view_cache` was built at.
+    view_cache_gen: u64,
 }
 
 impl Pool {
@@ -215,6 +264,8 @@ impl Pool {
             next_seq: 0,
             next_slot: 0,
             index: PoolIndex::default(),
+            view_cache: Vec::new(),
+            view_cache_gen: 0,
         }
     }
 
@@ -280,9 +331,9 @@ impl Pool {
         self.next_slot = self.next_slot.max(slot as u32 + 1);
         self.next_seq = self.next_seq.max(id.seq() + 1);
         let key = IndexKey::of(&container);
+        self.index.link(id, &key, indexed_packed(&key, &container));
         self.slots[slot] = Some(container);
         self.live.insert(id);
-        self.index.link(id, &key);
     }
 
     /// Removes a container, releasing its memory and recycling its
@@ -298,7 +349,8 @@ impl Pool {
                 let c = entry.take().expect("checked occupied");
                 self.free.push(slot as u32);
                 self.live.remove(&id);
-                self.index.unlink(id, &IndexKey::of(&c));
+                let key = IndexKey::of(&c);
+                self.index.unlink(id, &key, indexed_packed(&key, &c));
                 self.used -= c.memory;
                 c
             }
@@ -320,10 +372,12 @@ impl Pool {
             return None;
         }
         let old_key = IndexKey::of(container);
+        let old_packed = indexed_packed(&old_key, container).to_vec();
         Some(ContainerMut {
             container,
             index,
             old_key,
+            old_packed,
         })
     }
 
@@ -348,6 +402,11 @@ impl Pool {
         );
         self.used = new_used;
         c.memory = new_memory;
+        if c.is_idle() {
+            // Memory is view-visible, so a resize of an idle container
+            // invalidates the cached views.
+            self.index.idle_gen += 1;
+        }
     }
 
     /// Whether `extra` more memory fits right now.
@@ -390,6 +449,18 @@ impl Pool {
             .flat_map(|set| set.iter().copied())
     }
 
+    /// Ids of idle `User` containers whose packed set includes `f`, in
+    /// id order (index-backed). Overlaps `idle_user_ids(f)` only for a
+    /// container both owned by and packed with `f`; callers visiting
+    /// both must tolerate the repeat.
+    pub fn idle_packed_ids(&self, f: FunctionId) -> impl Iterator<Item = ContainerId> + '_ {
+        self.index
+            .idle_packed_by_fn
+            .get(&f)
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
     /// Ids of idle containers with `language` installed, in id order
     /// (index-backed).
     pub fn idle_language_ids(&self, language: Language) -> impl Iterator<Item = ContainerId> + '_ {
@@ -402,25 +473,60 @@ impl Pool {
 
     /// Views of all idle containers, optionally excluding one id, in id
     /// order.
-    pub fn idle_views(&self, exclude: Option<ContainerId>) -> Vec<ContainerView> {
+    pub fn idle_views(&mut self, exclude: Option<ContainerId>) -> Vec<ContainerView> {
         let mut out = Vec::new();
         self.idle_views_into(exclude, &mut out);
         out
     }
 
+    /// Rebuilds the idle-view cache iff the idle generation moved since
+    /// the last build.
+    fn refresh_view_cache(&mut self) {
+        if self.view_cache_gen == self.index.idle_gen {
+            return;
+        }
+        let Pool {
+            slots,
+            index,
+            view_cache,
+            ..
+        } = self;
+        view_cache.clear();
+        view_cache.extend(index.idle.iter().map(|&id| {
+            let c = slots[id.slot()].as_ref().expect("indexed slot empty");
+            debug_assert_eq!(c.id, id, "index points at a stale generation");
+            c.view()
+        }));
+        self.view_cache_gen = self.index.idle_gen;
+    }
+
+    /// Views of all idle containers in id order, served from the
+    /// generation-tracked cache: a no-op when nothing idle changed since
+    /// the previous call, a single rebuild otherwise.
+    pub fn cached_idle_views(&mut self) -> &[ContainerView] {
+        self.refresh_view_cache();
+        &self.view_cache
+    }
+
     /// Fills `out` with views of all idle containers, optionally
     /// excluding one id, in id order. Clears `out` first; the buffer's
-    /// capacity is reused across calls. Walks the idle index — each
-    /// candidate is one O(1) slab access.
-    pub fn idle_views_into(&self, exclude: Option<ContainerId>, out: &mut Vec<ContainerView>) {
+    /// capacity is reused across calls. Copies from the
+    /// generation-tracked cache, so an unchanged idle set costs a
+    /// memcpy-style clone instead of an index walk.
+    pub fn idle_views_into(&mut self, exclude: Option<ContainerId>, out: &mut Vec<ContainerView>) {
+        self.refresh_view_cache();
         out.clear();
-        out.extend(
-            self.index
-                .idle
-                .iter()
-                .filter(|&&id| Some(id) != exclude)
-                .map(|&id| self.by_slot(id).view()),
-        );
+        match exclude {
+            None => out.extend_from_slice(&self.view_cache),
+            Some(x) => out.extend(self.view_cache.iter().filter(|c| c.id != x).cloned()),
+        }
+    }
+
+    /// The current idle generation (bumped on every change to the idle
+    /// set or to a view-visible field of an idle container). Exposed for
+    /// cache-coherence tests.
+    pub fn idle_generation(&self) -> u64 {
+        self.index.idle_gen
     }
 
     /// Whether an idle `User` container owned by `f` exists (Alg. 1's
@@ -615,6 +721,54 @@ mod tests {
     }
 
     #[test]
+    fn packed_index_follows_repack_and_lifecycle() {
+        let mut p = Pool::new(MemMb::new(1_000));
+        p.insert(idle_container(0, 100));
+        let (f1, f2) = (FunctionId::new(1), FunctionId::new(2));
+        assert_eq!(p.idle_packed_ids(f1).count(), 0);
+
+        // Packing through the guard links the container under every
+        // packed function.
+        {
+            let mut c = p.get_mut(ContainerId::new(0)).unwrap();
+            c.packed = vec![f1, f2];
+        }
+        assert_eq!(
+            p.idle_packed_ids(f1).collect::<Vec<_>>(),
+            vec![ContainerId::new(0)]
+        );
+        assert_eq!(p.idle_packed_ids(f2).count(), 1);
+
+        // Shrinking the packed set unlinks just the dropped function.
+        {
+            let mut c = p.get_mut(ContainerId::new(0)).unwrap();
+            c.packed = vec![f2];
+        }
+        assert_eq!(p.idle_packed_ids(f1).count(), 0);
+        assert_eq!(p.idle_packed_ids(f2).count(), 1);
+
+        // A busy container is no packed-reuse candidate; going idle
+        // again restores it (the packed set survives execution).
+        {
+            let mut c = p.get_mut(ContainerId::new(0)).unwrap();
+            c.apply(LifecycleEvent::BeginExecution {
+                function: FunctionId::new(0),
+            })
+            .unwrap();
+        }
+        assert_eq!(p.idle_packed_ids(f2).count(), 0);
+        {
+            let mut c = p.get_mut(ContainerId::new(0)).unwrap();
+            c.finish_exec(Language::Python).unwrap();
+        }
+        assert_eq!(p.idle_packed_ids(f2).count(), 1);
+
+        // Removal unlinks the packed entries with everything else.
+        p.remove(ContainerId::new(0));
+        assert_eq!(p.idle_packed_ids(f2).count(), 0);
+    }
+
+    #[test]
     fn idle_views_into_reuses_buffer() {
         let mut p = Pool::new(MemMb::new(1_000));
         p.insert(idle_container(0, 100));
@@ -625,6 +779,38 @@ mod tests {
         p.idle_views_into(Some(ContainerId::new(0)), &mut buf);
         assert_eq!(buf.len(), 1);
         assert_eq!(buf[0].id, ContainerId::new(1));
+    }
+
+    #[test]
+    fn view_cache_tracks_idle_generation() {
+        let mut p = Pool::new(MemMb::new(1_000));
+        let g0 = p.idle_generation();
+        assert!(p.cached_idle_views().is_empty());
+        p.insert(idle_container(0, 100));
+        assert!(p.idle_generation() > g0);
+        assert_eq!(p.cached_idle_views().len(), 1);
+        let g1 = p.idle_generation();
+        // Pure reads neither invalidate nor rebuild.
+        assert_eq!(p.cached_idle_views().len(), 1);
+        assert_eq!(p.idle_generation(), g1);
+        // Resizing an idle container is view-visible.
+        p.resize(ContainerId::new(0), MemMb::new(50));
+        assert!(p.idle_generation() > g1);
+        assert_eq!(p.cached_idle_views()[0].memory, MemMb::new(50));
+        // A guard mutation that leaves the index key unchanged (packing
+        // an extra function) must still invalidate the cached views.
+        let g2 = p.idle_generation();
+        {
+            let mut c = p.get_mut(ContainerId::new(0)).unwrap();
+            c.packed.push(FunctionId::new(7));
+        }
+        assert!(p.idle_generation() > g2);
+        assert_eq!(p.cached_idle_views()[0].packed, vec![FunctionId::new(7)]);
+        // Removal invalidates too.
+        let g3 = p.idle_generation();
+        p.remove(ContainerId::new(0));
+        assert!(p.idle_generation() > g3);
+        assert!(p.cached_idle_views().is_empty());
     }
 
     #[test]

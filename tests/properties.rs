@@ -318,24 +318,20 @@ proptest! {
 /// Asserts every index-backed pool accessor agrees with a linear scan
 /// of the primary container map: same candidate set, same (id-ordered)
 /// deterministic order.
-fn assert_pool_indices_match_scan(pool: &rainbowcake::sim::pool::Pool) {
+fn assert_pool_indices_match_scan(pool: &mut rainbowcake::sim::pool::Pool) {
     use rainbowcake::sim::container::Container;
 
-    let scan: Vec<&Container> = pool.iter().collect();
-
-    // Idle enumeration (ids, containers, and both view paths).
-    let scan_idle: Vec<_> = scan.iter().filter(|c| c.is_idle()).map(|c| c.id).collect();
-    assert_eq!(pool.idle_ids().collect::<Vec<_>>(), scan_idle);
-    assert_eq!(
-        pool.idle_containers().map(|c| c.id).collect::<Vec<_>>(),
-        scan_idle
-    );
-    let scan_views: Vec<_> = scan
+    // The view accessors take `&mut self` (they refresh the
+    // generation-tracked cache), so snapshot the expected idle set as
+    // owned data before holding any scan borrow.
+    let scan_idle: Vec<_> = pool.iter().filter(|c| c.is_idle()).map(|c| c.id).collect();
+    let scan_views: Vec<_> = pool
         .iter()
         .filter(|c| c.is_idle())
         .map(|c| c.view())
         .collect();
     assert_eq!(pool.idle_views(None), scan_views);
+    assert_eq!(pool.cached_idle_views(), &scan_views[..]);
     if let Some(&first) = scan_idle.first() {
         let excluded: Vec<_> = scan_views
             .iter()
@@ -344,6 +340,15 @@ fn assert_pool_indices_match_scan(pool: &rainbowcake::sim::pool::Pool) {
             .collect();
         assert_eq!(pool.idle_views(Some(first)), excluded);
     }
+
+    let scan: Vec<&Container> = pool.iter().collect();
+
+    // Idle enumeration (ids and containers).
+    assert_eq!(pool.idle_ids().collect::<Vec<_>>(), scan_idle);
+    assert_eq!(
+        pool.idle_containers().map(|c| c.id).collect::<Vec<_>>(),
+        scan_idle
+    );
 
     // Per-function idle User containers and the availability check.
     for f in (0..4).map(FunctionId::new) {
@@ -354,6 +359,13 @@ fn assert_pool_indices_match_scan(pool: &rainbowcake::sim::pool::Pool) {
             .collect();
         assert_eq!(pool.idle_user_ids(f).collect::<Vec<_>>(), expect);
         assert_eq!(pool.has_idle_user(f), !expect.is_empty());
+
+        let expect_packed: Vec<_> = scan
+            .iter()
+            .filter(|c| c.is_idle() && c.layer() == Some(Layer::User) && c.packed.contains(&f))
+            .map(|c| c.id)
+            .collect();
+        assert_eq!(pool.idle_packed_ids(f).collect::<Vec<_>>(), expect_packed);
     }
 
     // Per-language idle containers.
@@ -611,7 +623,91 @@ proptest! {
                     }
                 }
             }
-            assert_pool_indices_match_scan(&pool);
+            assert_pool_indices_match_scan(&mut pool);
+        }
+    }
+}
+
+// ---------------- batch victim selection ----------------
+
+proptest! {
+    /// For every §7.1 policy, the batch `select_victims` contract must
+    /// replay the old one-victim-at-a-time eviction protocol exactly —
+    /// same victims, same order — for any candidate pool and memory
+    /// demand, with or without prior `on_idle` priming.
+    #[test]
+    fn batch_victim_selection_matches_sequential_protocol(
+        specs in prop::collection::vec(
+            (0u8..3, 0u32..3, 50u64..500, 0u64..10_000_000, 0u32..20, any::<bool>()),
+            0..10,
+        ),
+        prime_all in any::<bool>(),
+        need_frac in 0u64..130,
+    ) {
+        use rainbowcake::core::policy::{ContainerView, PolicyCtx};
+        use rainbowcake::core::types::ContainerId;
+        use rainbowcake_bench::{make_policy, BASELINE_NAMES};
+
+        let catalog = small_catalog();
+        let languages = [Language::NodeJs, Language::Python, Language::Java];
+        // Candidates in ascending id order, exactly as the engine hands
+        // them out of the pool's idle index.
+        let views: Vec<ContainerView> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(layer_sel, owner, mem, idle_us, hits, _))| {
+                let layer = match layer_sel {
+                    0 => Layer::Bare,
+                    1 => Layer::Lang,
+                    _ => Layer::User,
+                };
+                ContainerView {
+                    id: ContainerId::new(i as u64),
+                    layer,
+                    language: (layer >= Layer::Lang)
+                        .then_some(languages[owner as usize % 3]),
+                    owner: (layer == Layer::User).then_some(FunctionId::new(owner)),
+                    packed: Vec::new(),
+                    memory: MemMb::new(mem),
+                    idle_since: Instant::from_micros(idle_us),
+                    created_at: Instant::ZERO,
+                    hits,
+                }
+            })
+            .collect();
+        let total: u64 = views.iter().map(|v| v.memory.as_mb()).sum();
+        let need = MemMb::new(total * need_frac / 100);
+        let ctx = PolicyCtx {
+            now: Instant::from_micros(20_000_000),
+            catalog: &catalog,
+        };
+
+        for name in BASELINE_NAMES {
+            let mut batch = make_policy(name, &catalog);
+            let mut single = make_policy(name, &catalog);
+            // Prime both instances identically; a partial mask drives
+            // FaasCache through its uncached-fallback path, `prime_all`
+            // through the lazy-heap fast path.
+            for (v, &(.., prime)) in views.iter().zip(&specs) {
+                if prime_all || prime {
+                    batch.on_idle(&ctx, v);
+                    single.on_idle(&ctx, v);
+                }
+            }
+            // The reference: the classic rebuild-and-pick-one loop the
+            // engine ran before batch selection existed.
+            let mut remaining = views.clone();
+            let mut expect = Vec::new();
+            let mut freed = MemMb::ZERO;
+            while freed < need && !remaining.is_empty() {
+                let Some(victim) = single.select_victim(&ctx, &remaining) else { break };
+                let pos = remaining.iter().position(|c| c.id == victim).unwrap();
+                freed += remaining[pos].memory;
+                expect.push(victim);
+                remaining.remove(pos);
+            }
+            let got = batch.select_victims(&ctx, &views, need);
+            prop_assert_eq!(got, expect, "policy {} diverged", name);
         }
     }
 }
