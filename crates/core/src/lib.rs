@@ -39,7 +39,7 @@
 //! // The first arrival trains the recorder; later arrivals schedule
 //! // pre-warms one predicted inter-arrival time ahead (Algorithm 1).
 //! let response = policy.on_arrival(&ctx, f);
-//! assert!(response.prewarms.is_empty());
+//! assert!(response.prewarm.is_none());
 //! # Ok(())
 //! # }
 //! ```

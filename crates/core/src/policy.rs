@@ -82,13 +82,38 @@ pub enum ReuseScope {
     /// `reuse_class` may grant a class to *any* idle container
     /// (layer-sharing schemes); the platform must offer every one.
     All,
-    /// `reuse_class` returns `None` unless the container is owned by the
-    /// arriving function (`owner == Some(f)`) or packed with it
-    /// (`packed.contains(&f)`) — the shape of the default
-    /// implementation. The platform may then serve arrivals from its
-    /// per-function owner and packed indices and skip every other idle
-    /// container.
+    /// `reuse_class` behaves exactly like the default implementation:
+    /// `WarmUser` for a `User` container owned by the arriving function,
+    /// `SharedPacked` for a `User` container packed with it, `None`
+    /// otherwise. The platform may then serve arrivals straight from its
+    /// per-function owner and packed indices — assigning those classes
+    /// itself, without calling `reuse_class` or building container views
+    /// — and skip every other idle container. A policy that overrides
+    /// `reuse_class` must not declare this scope.
     OwnedOrPacked,
+    /// `reuse_class` grants per layer, keyed only by the candidate's
+    /// layer and language (layer-wise sharing à la RainbowCake/SEUSS):
+    /// `user` for a `User` container owned by the arriving function,
+    /// [`ReuseClass::SharedLang`] for a `Lang`-layer container of the
+    /// function's language iff `lang`, [`ReuseClass::SharedBare`] for a
+    /// `Bare`-layer container iff `bare`, and `None` everywhere else
+    /// (including non-owner `User` containers). The platform serves
+    /// arrivals from its per-owner, per-language-layer, and bare-layer
+    /// indices — again without calling `reuse_class` — and skips the
+    /// rest of the idle set. A policy whose grants depend on anything
+    /// beyond (owner, layer, language) must not declare this scope.
+    Layered {
+        /// Class granted to an idle `User` container owned by the
+        /// arriving function ([`ReuseClass::WarmUser`] for warm reuse,
+        /// [`ReuseClass::SnapshotUser`] for SEUSS-style re-forking).
+        user: ReuseClass,
+        /// Whether idle `Lang`-layer containers of the function's
+        /// language are granted [`ReuseClass::SharedLang`].
+        lang: bool,
+        /// Whether idle `Bare`-layer containers are granted
+        /// [`ReuseClass::SharedBare`].
+        bare: bool,
+    },
 }
 
 /// Pre-warm request emitted from [`Policy::on_arrival`]: "after `delay`,
@@ -105,10 +130,15 @@ pub struct PrewarmRequest {
 }
 
 /// Everything a policy wants done in response to an arrival.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Every implemented policy schedules at most one pre-warm per arrival
+/// (RainbowCake's Alg. 1 line 9, the histogram's single window), so the
+/// response holds an inline `Option` rather than a `Vec` — the arrival
+/// hot path allocates nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ArrivalResponse {
-    /// Pre-warm timers to schedule.
-    pub prewarms: Vec<PrewarmRequest>,
+    /// Pre-warm timer to schedule, if any.
+    pub prewarm: Option<PrewarmRequest>,
 }
 
 impl ArrivalResponse {
@@ -120,11 +150,11 @@ impl ArrivalResponse {
     /// A response scheduling a single pre-warm.
     pub fn prewarm(function: FunctionId, delay: Micros, target: Layer) -> Self {
         ArrivalResponse {
-            prewarms: vec![PrewarmRequest {
+            prewarm: Some(PrewarmRequest {
                 function,
                 delay,
                 target,
-            }],
+            }),
         }
     }
 }

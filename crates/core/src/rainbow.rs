@@ -6,7 +6,8 @@ use crate::error::ConfigError;
 use crate::history::{HistoryRecorder, ShareScope};
 use crate::mem::MemMb;
 use crate::policy::{
-    lru_victims, ArrivalResponse, ContainerView, Policy, PolicyCtx, ReuseClass, TimeoutDecision,
+    lru_victims, ArrivalResponse, ContainerView, Policy, PolicyCtx, ReuseClass, ReuseScope,
+    TimeoutDecision,
 };
 use crate::profile::Catalog;
 use crate::time::Micros;
@@ -104,6 +105,16 @@ pub struct RainbowCake {
     config: RainbowConfig,
     cost: CostModel,
     recorder: HistoryRecorder,
+    /// First catalog function per language (`Language::index()`):
+    /// anchors downgraded containers without scanning the catalog.
+    anchor_by_lang: [Option<FunctionId>; 3],
+    /// Fallback anchor for containers with neither owner nor language.
+    first_function: Option<FunctionId>,
+    /// Per-function, per-layer eviction warmth, indexed by
+    /// `FunctionId::index()` and `Layer::depth() - 1`: the startup
+    /// seconds a container at that layer saves over a cold start.
+    /// Profiles are immutable for a run, so this never invalidates.
+    warmth: Vec<[f64; 3]>,
 }
 
 impl RainbowCake {
@@ -122,10 +133,32 @@ impl RainbowCake {
             )));
         }
         let recorder = HistoryRecorder::new(catalog, config.window)?;
+        let mut anchor_by_lang = [None; 3];
+        for p in catalog.iter() {
+            let slot = &mut anchor_by_lang[p.language.index()];
+            if slot.is_none() {
+                *slot = Some(p.id);
+            }
+        }
+        let warmth = catalog
+            .iter()
+            .map(|p| {
+                let mut per_layer = [0.0; 3];
+                for layer in [Layer::Bare, Layer::Lang, Layer::User] {
+                    per_layer[layer.depth() - 1] = (p.cold_startup() - p.startup_from(Some(layer)))
+                        .as_secs_f64()
+                        .max(1e-9);
+                }
+                per_layer
+            })
+            .collect();
         Ok(RainbowCake {
             config,
             cost,
             recorder,
+            anchor_by_lang,
+            first_function: catalog.iter().next().map(|p| p.id),
+            warmth,
         })
     }
 
@@ -193,23 +226,37 @@ impl RainbowCake {
     /// The function whose profile drives a container's cost estimates:
     /// its owner if specialized, otherwise the heaviest plausible sharer
     /// is approximated by the container's creator via `packed`/language.
-    fn anchor_function(&self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> FunctionId {
+    /// Served from the per-language table built at construction.
+    fn anchor_function(&self, c: &ContainerView) -> FunctionId {
         if let Some(owner) = c.owner {
             return owner;
         }
         // Downgraded containers keep no owner; anchor on any function of
         // the same language (they share runtime install costs), else on
         // function 0.
-        if let Some(lang) = c.language {
-            if let Some(f) = ctx.catalog.iter().find(|p| p.language == lang) {
-                return f.id;
+        if let Some(f) = c
+            .language
+            .and_then(|lang| self.anchor_by_lang[lang.index()])
+        {
+            return f;
+        }
+        self.first_function.unwrap_or(FunctionId::new(0))
+    }
+
+    /// Eviction warmth of `c` under its anchor function, from the
+    /// precomputed table (falling back to the profile for ids minted
+    /// outside the construction catalog).
+    fn layer_warmth(&self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> f64 {
+        let f = self.anchor_function(c);
+        match self.warmth.get(f.index()) {
+            Some(per_layer) => per_layer[c.layer.depth() - 1],
+            None => {
+                let profile = ctx.profile(f);
+                (profile.cold_startup() - profile.startup_from(Some(c.layer)))
+                    .as_secs_f64()
+                    .max(1e-9)
             }
         }
-        ctx.catalog
-            .iter()
-            .next()
-            .map(|p| p.id)
-            .unwrap_or(FunctionId::new(0))
     }
 }
 
@@ -259,8 +306,23 @@ impl Policy for RainbowCake {
         }
     }
 
+    /// Scope declaration matching [`Self::reuse_class`] exactly: owner
+    /// containers grant `WarmUser`, and (outside the `NoLayers`
+    /// ablation) Lang-layer same-language containers grant `SharedLang`
+    /// and Bare-layer containers grant `SharedBare`. Lets the platform
+    /// serve arrivals from its layer indices instead of scanning every
+    /// idle container through the virtual call.
+    fn reuse_scope(&self) -> ReuseScope {
+        let layered = !matches!(self.config.variant, RainbowVariant::NoLayers);
+        ReuseScope::Layered {
+            user: ReuseClass::WarmUser,
+            lang: layered,
+            bare: layered,
+        }
+    }
+
     fn on_idle(&mut self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> Micros {
-        let f = self.anchor_function(ctx, c);
+        let f = self.anchor_function(c);
         // Feed the Eq. 5 windows with what we actually observed.
         self.recorder.record_observation(
             f,
@@ -278,7 +340,7 @@ impl Policy for RainbowCake {
         match c.layer.downgrade() {
             None => TimeoutDecision::Terminate, // Bare containers die (Alg. 2 line 10).
             Some(next) => {
-                let f = self.anchor_function(ctx, c);
+                let f = self.anchor_function(c);
                 TimeoutDecision::Downgrade {
                     ttl: self.ttl(ctx, f, next),
                 }
@@ -299,17 +361,11 @@ impl Policy for RainbowCake {
             EvictionOrder::LayerAware => candidates
                 .iter()
                 .max_by(|a, b| {
-                    let score = |c: &ContainerView| {
-                        let f = self.anchor_function(ctx, c);
-                        let profile = ctx.profile(f);
-                        // Warmth = startup latency this container saves
-                        // over a cold start; evict where memory freed per
-                        // second of warmth lost is highest.
-                        let warmth = (profile.cold_startup() - profile.startup_from(Some(c.layer)))
-                            .as_secs_f64()
-                            .max(1e-9);
-                        c.memory.as_gb_f64() / warmth
-                    };
+                    // Warmth = startup latency this container saves over
+                    // a cold start; evict where memory freed per second
+                    // of warmth lost is highest.
+                    let score =
+                        |c: &ContainerView| c.memory.as_gb_f64() / self.layer_warmth(ctx, c);
                     score(a)
                         .partial_cmp(&score(b))
                         .unwrap_or(std::cmp::Ordering::Equal)
@@ -335,11 +391,7 @@ impl Policy for RainbowCake {
                 let mut scored: Vec<(f64, ContainerId, MemMb)> = candidates
                     .iter()
                     .map(|c| {
-                        let f = self.anchor_function(ctx, c);
-                        let profile = ctx.profile(f);
-                        let warmth = (profile.cold_startup() - profile.startup_from(Some(c.layer)))
-                            .as_secs_f64()
-                            .max(1e-9);
+                        let warmth = self.layer_warmth(ctx, c);
                         (c.memory.as_gb_f64() / warmth, c.id, c.memory)
                     })
                     .collect();
@@ -432,7 +484,7 @@ mod tests {
         let c = catalog();
         let mut p = RainbowCake::with_defaults(&c).unwrap();
         let resp = p.on_arrival(&ctx(&c, 0), FunctionId::new(0));
-        assert!(resp.prewarms.is_empty());
+        assert!(resp.prewarm.is_none());
     }
 
     #[test]
@@ -442,8 +494,7 @@ mod tests {
         let f = FunctionId::new(0);
         train(&mut p, &c, f, 10, 6);
         let resp = p.on_arrival(&ctx(&c, 60), f);
-        assert_eq!(resp.prewarms.len(), 1);
-        let req = resp.prewarms[0];
+        let req = resp.prewarm.expect("prewarm scheduled");
         assert_eq!(req.function, f);
         assert_eq!(req.target, Layer::User);
         // lambda ~ 7/60 after this arrival; IAT(0.8) ≈ 13.8 s.
@@ -615,6 +666,90 @@ mod tests {
         )
         .unwrap();
         assert_eq!(nl.name(), "RainbowCake-NoLayers");
+    }
+
+    #[test]
+    fn reuse_scope_matches_reuse_class_gates() {
+        let c = catalog();
+        let full = RainbowCake::with_defaults(&c).unwrap();
+        assert_eq!(
+            full.reuse_scope(),
+            ReuseScope::Layered {
+                user: ReuseClass::WarmUser,
+                lang: true,
+                bare: true,
+            }
+        );
+        let ns = RainbowCake::new(
+            &c,
+            RainbowConfig {
+                variant: RainbowVariant::no_sharing_default(),
+                ..RainbowConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            ns.reuse_scope(),
+            ReuseScope::Layered {
+                user: ReuseClass::WarmUser,
+                lang: true,
+                bare: true,
+            }
+        );
+        let nl = RainbowCake::new(
+            &c,
+            RainbowConfig {
+                variant: RainbowVariant::NoLayers,
+                ..RainbowConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            nl.reuse_scope(),
+            ReuseScope::Layered {
+                user: ReuseClass::WarmUser,
+                lang: false,
+                bare: false,
+            }
+        );
+    }
+
+    #[test]
+    fn anchor_table_matches_catalog_scan() {
+        let c = catalog();
+        let p = RainbowCake::with_defaults(&c).unwrap();
+        // Owner wins outright.
+        let owned = view(Layer::User, Some(FunctionId::new(2)), Some(Language::Java));
+        assert_eq!(p.anchor_function(&owned), FunctionId::new(2));
+        // Downgraded: first catalog function of the same language.
+        for (lang, want) in [(Language::Python, 0), (Language::Java, 2)] {
+            let v = view(Layer::Lang, None, Some(lang));
+            let scanned = c.iter().find(|f| f.language == lang).unwrap().id;
+            assert_eq!(p.anchor_function(&v), scanned);
+            assert_eq!(p.anchor_function(&v), FunctionId::new(want));
+        }
+        // No language at all (Bare): first catalog function.
+        let bare = view(Layer::Bare, None, None);
+        assert_eq!(p.anchor_function(&bare), FunctionId::new(0));
+        // A language absent from the catalog also falls back to fn 0.
+        let orphan = view(Layer::Lang, None, Some(Language::NodeJs));
+        assert_eq!(p.anchor_function(&orphan), FunctionId::new(0));
+    }
+
+    #[test]
+    fn warmth_table_matches_profile_math() {
+        let c = catalog();
+        let p = RainbowCake::with_defaults(&c).unwrap();
+        let cx = ctx(&c, 0);
+        for profile in c.iter() {
+            for layer in [Layer::Bare, Layer::Lang, Layer::User] {
+                let v = view(layer, Some(profile.id), Some(profile.language));
+                let want = (profile.cold_startup() - profile.startup_from(Some(layer)))
+                    .as_secs_f64()
+                    .max(1e-9);
+                assert_eq!(p.layer_warmth(&cx, &v), want);
+            }
+        }
     }
 
     #[test]

@@ -88,6 +88,16 @@ impl Language {
     /// All supported runtimes, in catalog order.
     pub const ALL: [Language; 3] = [Language::NodeJs, Language::Python, Language::Java];
 
+    /// Dense index of this runtime in [`Language::ALL`] — the key used
+    /// by per-language tables (history groups, pool indices).
+    pub const fn index(self) -> usize {
+        match self {
+            Language::NodeJs => 0,
+            Language::Python => 1,
+            Language::Java => 2,
+        }
+    }
+
     /// Short suffix used in the paper's function names (`-Js`, `-Py`,
     /// `-Java`).
     pub fn suffix(self) -> &'static str {

@@ -219,8 +219,8 @@ mod tests {
             let resp = p.on_arrival(&ctx(&c, i * 600), f);
             if i >= 5 {
                 // Enough history: pre-warm ~9 minutes after each arrival.
-                assert_eq!(resp.prewarms.len(), 1, "iteration {i}");
-                let d = resp.prewarms[0].delay;
+                let req = resp.prewarm.unwrap_or_else(|| panic!("iteration {i}"));
+                let d = req.delay;
                 assert!(d >= Micros::from_mins(8) && d <= Micros::from_mins(10));
             }
         }
@@ -237,7 +237,7 @@ mod tests {
         // Arrivals every ~30 s: head bin is 0-1 min, no pre-warm.
         for i in 0..10 {
             let resp = p.on_arrival(&ctx(&c, i * 30), f);
-            assert!(resp.prewarms.is_empty());
+            assert!(resp.prewarm.is_none());
         }
         let ttl = p.on_idle(&ctx(&c, 300), &view(Some(f)));
         // Tail-based keep-alive: at least one minute, far below fallback.

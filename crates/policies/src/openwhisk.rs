@@ -114,7 +114,7 @@ mod tests {
             now: Instant::ZERO,
             catalog: &catalog,
         };
-        assert!(p.on_arrival(&ctx, FunctionId::new(0)).prewarms.is_empty());
+        assert!(p.on_arrival(&ctx, FunctionId::new(0)).prewarm.is_none());
     }
 
     #[test]

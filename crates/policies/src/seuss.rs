@@ -18,7 +18,7 @@
 
 use rainbowcake_core::mem::MemMb;
 use rainbowcake_core::policy::{
-    lru_victims, ContainerView, Policy, PolicyCtx, ReuseClass, TimeoutDecision,
+    lru_victims, ContainerView, Policy, PolicyCtx, ReuseClass, ReuseScope, TimeoutDecision,
 };
 use rainbowcake_core::time::Micros;
 use rainbowcake_core::types::{ContainerId, FunctionId, Layer};
@@ -74,6 +74,18 @@ impl Policy for Seuss {
                 Some(ReuseClass::SharedLang)
             }
             _ => None,
+        }
+    }
+
+    /// Mirrors [`Self::reuse_class`]: snapshot re-forks from owned
+    /// `User` state, snapshot boots from same-language `Lang` state,
+    /// and nothing from `Bare` — so the platform can serve arrivals
+    /// from its owner and language indices.
+    fn reuse_scope(&self) -> ReuseScope {
+        ReuseScope::Layered {
+            user: ReuseClass::SnapshotUser,
+            lang: true,
+            bare: false,
         }
     }
 
@@ -207,12 +219,22 @@ mod tests {
     }
 
     #[test]
+    fn scope_mirrors_reuse_class() {
+        let p = Seuss::new();
+        assert_eq!(
+            p.reuse_scope(),
+            ReuseScope::Layered {
+                user: ReuseClass::SnapshotUser,
+                lang: true,
+                bare: false,
+            }
+        );
+    }
+
+    #[test]
     fn no_prewarming() {
         let c = catalog();
         let mut p = Seuss::new();
-        assert!(p
-            .on_arrival(&ctx(&c), FunctionId::new(0))
-            .prewarms
-            .is_empty());
+        assert!(p.on_arrival(&ctx(&c), FunctionId::new(0)).prewarm.is_none());
     }
 }

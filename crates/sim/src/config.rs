@@ -6,6 +6,21 @@ use rainbowcake_core::time::Micros;
 
 use crate::event::QueueKind;
 
+/// How the engine drains the future-event list. Both modes produce
+/// byte-identical simulations (proven by `tests/event_core_identity.rs`);
+/// tick batching only changes how often the dispatch loop touches the
+/// queue, not the order events are handled in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Drain all events sharing a timestamp in one queue operation and
+    /// dispatch them in grouped runs (the default).
+    #[default]
+    TickBatched,
+    /// Pop and dispatch one event at a time — the original loop, kept
+    /// as the behavioural reference.
+    PerEvent,
+}
+
 /// The checkpoint/restore extension (§7.8, CRIU through the Docker
 /// checkpoint API in the paper's prototype).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +75,9 @@ pub struct SimConfig {
     /// Future-event-list backend. Both produce identical simulations;
     /// the binary heap is kept as the reference for equivalence tests.
     pub event_queue: QueueKind,
+    /// Event dispatch strategy. Both modes produce identical
+    /// simulations; per-event dispatch is kept as the reference.
+    pub dispatch: DispatchMode,
     /// Aggregate invocation metrics on the fly (bounded memory) instead
     /// of keeping every record. Per-record outputs (fig binaries, JSON
     /// byte-identity) need the default exact path.
@@ -78,6 +96,7 @@ impl Default for SimConfig {
             transition_jitter: 0.15,
             checkpoint: None,
             event_queue: QueueKind::TimerWheel,
+            dispatch: DispatchMode::TickBatched,
             streaming_metrics: false,
         }
     }

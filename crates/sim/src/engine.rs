@@ -24,13 +24,13 @@ use rainbowcake_core::profile::{Catalog, FunctionProfile};
 use rainbowcake_core::time::{Instant, Micros};
 use rainbowcake_core::types::{ContainerId, FunctionId, Layer};
 use rainbowcake_metrics::{IdleOutcome, InvocationRecord, MetricsCollector, RunReport, StartType};
-use rainbowcake_trace::samplers::lognormal_mean_cv;
+use rainbowcake_trace::samplers::{lognormal_from_params, lognormal_params};
 use rainbowcake_trace::Trace;
 
 use crate::concurrency::transition_overhead;
-use crate::config::SimConfig;
+use crate::config::{DispatchMode, SimConfig};
 use crate::container::{AssignedInvocation, Container};
-use crate::event::{EventKind, EventQueue};
+use crate::event::{Event, EventKind, EventQueue};
 use crate::pool::Pool;
 
 /// An invocation waiting for admission (memory pressure).
@@ -71,6 +71,76 @@ pub fn run(
     engine.finish()
 }
 
+/// Index of an event kind in [`EngineProfile`]'s arrays.
+fn kind_rank(kind: &EventKind) -> usize {
+    match kind {
+        EventKind::Arrival { .. } => 0,
+        EventKind::InitComplete { .. } => 1,
+        EventKind::ExecComplete { .. } => 2,
+        EventKind::IdleTimeout { .. } => 3,
+        EventKind::PrewarmFire { .. } => 4,
+    }
+}
+
+/// Per-event-kind dispatch statistics from a profiled run
+/// ([`run_with_profile`]): how many events of each kind were handled
+/// and how much wall-clock time their handlers took.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineProfile {
+    /// Events handled, indexed like [`EngineProfile::KIND_NAMES`].
+    pub counts: [u64; 5],
+    /// Total handler wall-clock nanoseconds, same indexing.
+    pub nanos: [u64; 5],
+}
+
+impl EngineProfile {
+    /// Display names for the five event kinds, in array order.
+    pub const KIND_NAMES: [&'static str; 5] = [
+        "Arrival",
+        "InitComplete",
+        "ExecComplete",
+        "IdleTimeout",
+        "PrewarmFire",
+    ];
+
+    /// Merges another profile into this one (for multi-worker runs).
+    pub fn merge(&mut self, other: &EngineProfile) {
+        for i in 0..5 {
+            self.counts[i] += other.counts[i];
+            self.nanos[i] += other.nanos[i];
+        }
+    }
+
+    /// Total events across all kinds.
+    pub fn total_events(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Like [`run`], but also measures a per-event-kind time/count
+/// breakdown of the dispatch loop. The simulation result is identical
+/// to [`run`]'s; timing adds one clock read per grouped run of
+/// same-kind events.
+pub fn run_with_profile(
+    catalog: &Catalog,
+    policy: &mut dyn Policy,
+    trace: &Trace,
+    config: &SimConfig,
+) -> (RunReport, EngineProfile) {
+    let mut engine = Engine::new(catalog, policy, config, trace.horizon());
+    for arrival in trace.iter() {
+        engine.events.push(
+            arrival.time,
+            EventKind::Arrival {
+                function: arrival.function,
+            },
+        );
+    }
+    let mut profile = EngineProfile::default();
+    engine.run_tick_batched(Some(&mut profile));
+    (engine.finish(), profile)
+}
+
 struct Engine<'a> {
     catalog: &'a Catalog,
     config: &'a SimConfig,
@@ -82,6 +152,13 @@ struct Engine<'a> {
     pending: VecDeque<QueuedInvocation>,
     horizon: Instant,
     first_arrival: Vec<Option<Instant>>,
+    /// First catalog profile per language (downgrade-footprint anchor),
+    /// precomputed so the downgrade path never scans the catalog.
+    anchor_by_lang: [Option<&'a FunctionProfile>; 3],
+    /// Per-function lognormal `(mu, sigma)` for execution-time jitter
+    /// (dense by `FunctionId`; `None` when the profile's cv is zero),
+    /// precomputed so `sample_exec` never recomputes the transform.
+    exec_params: Vec<Option<(f64, f64)>>,
     now: Instant,
     // Scratch buffers reused across arrivals so the hot path allocates
     // nothing in steady state. The arrival path reads idle candidates
@@ -99,6 +176,20 @@ impl<'a> Engine<'a> {
         config: &'a SimConfig,
         horizon: Micros,
     ) -> Self {
+        let mut anchor_by_lang: [Option<&'a FunctionProfile>; 3] = [None; 3];
+        for p in catalog.iter() {
+            let slot = &mut anchor_by_lang[p.language.index()];
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+        }
+        let exec_params = catalog
+            .iter()
+            .map(|p| {
+                (p.exec.cv > 0.0)
+                    .then(|| lognormal_params(p.exec.mean.as_secs_f64().max(1e-6), p.exec.cv))
+            })
+            .collect();
         Engine {
             catalog,
             config,
@@ -114,6 +205,8 @@ impl<'a> Engine<'a> {
             pending: VecDeque::new(),
             horizon: Instant::ZERO + horizon,
             first_arrival: vec![None; catalog.len()],
+            anchor_by_lang,
+            exec_params,
             now: Instant::ZERO,
             scratch_views: Vec::new(),
             scratch_options: Vec::new(),
@@ -128,6 +221,14 @@ impl<'a> Engine<'a> {
     }
 
     fn run_to_completion(&mut self) {
+        match self.config.dispatch {
+            DispatchMode::TickBatched => self.run_tick_batched(None),
+            DispatchMode::PerEvent => self.run_per_event(),
+        }
+    }
+
+    /// The reference dispatch loop: pop and handle one event at a time.
+    fn run_per_event(&mut self) {
         while let Some(event) = self.events.pop() {
             debug_assert!(event.time >= self.now, "time must not run backwards");
             self.now = event.time;
@@ -141,6 +242,81 @@ impl<'a> Engine<'a> {
                     self.handle_idle_timeout(container, epoch)
                 }
                 EventKind::PrewarmFire { function } => self.handle_prewarm_fire(function),
+            }
+        }
+    }
+
+    /// The tick-batched dispatch loop: drain all events of the earliest
+    /// timestamp into a reusable scratch buffer, then dispatch them in
+    /// grouped runs of same-kind events so the per-event work is a
+    /// direct handler call instead of a queue pop plus an enum match.
+    /// Handler order is identical to [`Self::run_per_event`] — see
+    /// `EventQueue::pop_tick` for the argument.
+    ///
+    /// With `profile` set, each grouped run is timed and counted into
+    /// the per-kind breakdown.
+    fn run_tick_batched(&mut self, mut profile: Option<&mut EngineProfile>) {
+        let mut batch: Vec<Event> = Vec::new();
+        while let Some(tick) = self.events.pop_tick(&mut batch) {
+            debug_assert!(tick >= self.now, "time must not run backwards");
+            self.now = tick;
+            let mut start = 0;
+            while start < batch.len() {
+                let rank = kind_rank(&batch[start].kind);
+                let mut end = start + 1;
+                while end < batch.len() && kind_rank(&batch[end].kind) == rank {
+                    end += 1;
+                }
+                let timer = profile
+                    .as_deref_mut()
+                    .map(|p| (std::time::Instant::now(), p));
+                match batch[start].kind {
+                    EventKind::Arrival { .. } => {
+                        for event in &batch[start..end] {
+                            let EventKind::Arrival { function } = event.kind else {
+                                unreachable!("grouped run is homogeneous");
+                            };
+                            self.handle_arrival(function);
+                        }
+                    }
+                    EventKind::InitComplete { .. } => {
+                        for event in &batch[start..end] {
+                            let EventKind::InitComplete { container, epoch } = event.kind else {
+                                unreachable!("grouped run is homogeneous");
+                            };
+                            self.handle_init_complete(container, epoch);
+                        }
+                    }
+                    EventKind::ExecComplete { .. } => {
+                        for event in &batch[start..end] {
+                            let EventKind::ExecComplete { container } = event.kind else {
+                                unreachable!("grouped run is homogeneous");
+                            };
+                            self.handle_exec_complete(container);
+                        }
+                    }
+                    EventKind::IdleTimeout { .. } => {
+                        for event in &batch[start..end] {
+                            let EventKind::IdleTimeout { container, epoch } = event.kind else {
+                                unreachable!("grouped run is homogeneous");
+                            };
+                            self.handle_idle_timeout(container, epoch);
+                        }
+                    }
+                    EventKind::PrewarmFire { .. } => {
+                        for event in &batch[start..end] {
+                            let EventKind::PrewarmFire { function } = event.kind else {
+                                unreachable!("grouped run is homogeneous");
+                            };
+                            self.handle_prewarm_fire(function);
+                        }
+                    }
+                }
+                if let Some((t0, p)) = timer {
+                    p.counts[rank] += (end - start) as u64;
+                    p.nanos[rank] += t0.elapsed().as_nanos() as u64;
+                }
+                start = end;
             }
         }
     }
@@ -253,14 +429,11 @@ impl<'a> Engine<'a> {
     }
 
     fn sample_exec(&mut self, p: &FunctionProfile) -> Micros {
-        if self.config.exec_jitter && p.exec.cv > 0.0 {
-            Micros::from_secs_f64(lognormal_mean_cv(
-                &mut self.rng,
-                p.exec.mean.as_secs_f64().max(1e-6),
-                p.exec.cv,
-            ))
-        } else {
-            p.exec.mean
+        match self.exec_params[p.id.index()] {
+            Some((mu, sigma)) if self.config.exec_jitter => {
+                Micros::from_secs_f64(lognormal_from_params(&mut self.rng, mu, sigma))
+            }
+            _ => p.exec.mean,
         }
     }
 
@@ -273,7 +446,7 @@ impl<'a> Engine<'a> {
             self.first_arrival[f.index()] = Some(self.now);
         }
         let response = self.policy.on_arrival(&self.ctx(), f);
-        for req in response.prewarms {
+        if let Some(req) = response.prewarm {
             self.events.push(
                 self.now + req.delay,
                 EventKind::PrewarmFire {
@@ -308,14 +481,14 @@ impl<'a> Engine<'a> {
         // exactly what the old `sort_by_key((class, Reverse(since),
         // id))` + first-per-class retain produced.
         //
-        // Policies declaring `ReuseScope::OwnedOrPacked` grant classes
-        // only to containers owned by or packed with `f`, so the scan
-        // is served from the two per-function pool indices instead of
-        // the whole idle set. Each index yields id order and each class
-        // draws from exactly one of them (owner => WarmUser beats the
-        // packed check), so the per-class winners match the full scan;
-        // a container both owned and packed is visited twice, but the
-        // strict replacement rule makes the repeat a no-op.
+        // The narrow reuse scopes pin down `reuse_class` completely
+        // (see their contracts on `ReuseScope`), so the engine assigns
+        // classes straight from the pool's per-function and per-layer
+        // indices — no views are built and `reuse_class` is never
+        // called. Each index yields id order and each class draws from
+        // one index, so the per-class winners match the full
+        // `ReuseScope::All` scan over the same grants; `idle_since` is
+        // read from the pool's hot arrays.
         {
             let ctx = self.ctx();
             let mut best: [Option<(ContainerId, Instant)>; 5] = [None; 5];
@@ -330,11 +503,47 @@ impl<'a> Engine<'a> {
                         }
                     }
                     ReuseScope::OwnedOrPacked => {
-                        let ids = pool.idle_user_ids(f).chain(pool.idle_packed_ids(f));
-                        for id in ids {
-                            let v = pool.get(id).expect("indexed idle container exists").view();
-                            if let Some(class) = policy.reuse_class(&ctx, f, &v) {
-                                consider(&mut best, class, v.id, v.idle_since);
+                        for id in pool.idle_user_ids(f) {
+                            consider(&mut best, ReuseClass::WarmUser, id, pool.idle_since_of(id));
+                        }
+                        for id in pool.idle_packed_ids(f) {
+                            // The owner check takes precedence in the
+                            // default `reuse_class`: a container both
+                            // owned by and packed with `f` is WarmUser
+                            // only, never SharedPacked.
+                            if pool.owner_of(id) == Some(f) {
+                                continue;
+                            }
+                            consider(
+                                &mut best,
+                                ReuseClass::SharedPacked,
+                                id,
+                                pool.idle_since_of(id),
+                            );
+                        }
+                    }
+                    ReuseScope::Layered { user, lang, bare } => {
+                        for id in pool.idle_user_ids(f) {
+                            consider(&mut best, user, id, pool.idle_since_of(id));
+                        }
+                        if lang {
+                            for id in pool.idle_lang_layer_ids(profile.language) {
+                                consider(
+                                    &mut best,
+                                    ReuseClass::SharedLang,
+                                    id,
+                                    pool.idle_since_of(id),
+                                );
+                            }
+                        }
+                        if bare {
+                            for id in pool.idle_bare_ids() {
+                                consider(
+                                    &mut best,
+                                    ReuseClass::SharedBare,
+                                    id,
+                                    pool.idle_since_of(id),
+                                );
                             }
                         }
                     }
@@ -627,7 +836,9 @@ impl<'a> Engine<'a> {
     }
 
     /// Idle footprint after peeling the top layer off the container in
-    /// `view` (language-specific for Lang, universal for Bare).
+    /// `view` (language-specific for Lang, universal for Bare). The
+    /// per-language anchor profiles are precomputed at engine
+    /// construction, so this is two array reads.
     fn downgraded_footprint(&self, view: &rainbowcake_core::policy::ContainerView) -> MemMb {
         let next = view
             .layer
@@ -635,7 +846,7 @@ impl<'a> Engine<'a> {
             .expect("downgrade decisions only occur above Bare");
         let anchor = view
             .language
-            .and_then(|lang| self.catalog.iter().find(|p| p.language == lang))
+            .and_then(|lang| self.anchor_by_lang[lang.index()])
             .or_else(|| self.catalog.iter().next())
             .expect("catalog is non-empty");
         anchor.memory_at(next)
@@ -715,7 +926,7 @@ impl<'a> Engine<'a> {
     /// Asks the policy for the idle TTL of a freshly idle container and
     /// schedules the timeout (unless the TTL is unbounded).
     fn arm_idle_ttl(&mut self, id: ContainerId) {
-        let view = self.pool.get(id).expect("idle container exists").view();
+        let view = self.pool.view_of(id);
         let ctx = self.ctx();
         let ttl = self.policy.on_idle(&ctx, &view);
         self.schedule_timeout(id, ttl);
@@ -739,10 +950,11 @@ impl<'a> Engine<'a> {
     }
 
     fn handle_idle_timeout(&mut self, id: ContainerId, epoch: u64) {
-        let view = match self.pool.get(id) {
-            Some(c) if c.epoch == epoch && c.is_idle() => c.view(),
+        match self.pool.get(id) {
+            Some(c) if c.epoch == epoch && c.is_idle() => {}
             _ => return, // stale (container reused, repurposed, or gone)
-        };
+        }
+        let view = self.pool.view_of(id);
         let ctx = self.ctx();
         let decision = self.policy.on_timeout(&ctx, &view);
         match decision {

@@ -24,7 +24,11 @@ use rainbowcake_core::time::Instant;
 use rainbowcake_core::types::{ContainerId, FunctionId};
 
 /// Everything that can happen in the simulated platform.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Kinds are plain value types (`Copy`), so draining a whole tick into
+/// a reusable scratch buffer recycles allocations trivially — the
+/// buffer's capacity is the only heap state involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// An invocation of `function` arrives.
     Arrival {
@@ -74,7 +78,7 @@ impl EventKind {
 }
 
 /// A scheduled event.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
     /// When the event fires.
     pub time: Instant,
@@ -236,6 +240,21 @@ enum Backend {
     Heap(BinaryHeap<Event>),
 }
 
+/// Stamp-table staleness check shared by [`EventQueue::pop`] and
+/// [`EventQueue::pop_tick`] — a free function so tick draining can run
+/// while the backend is mutably borrowed.
+fn stale(stamps: &[Stamp], event: &Event) -> bool {
+    let Some((container, epoch)) = event.kind.guard() else {
+        return false;
+    };
+    match stamps.get(container.slot()) {
+        Some(stamp) => {
+            stamp.seq > container.seq() || (stamp.seq == container.seq() && epoch < stamp.min_epoch)
+        }
+        None => false,
+    }
+}
+
 /// A deterministic future-event list.
 #[derive(Debug)]
 pub struct EventQueue {
@@ -323,16 +342,7 @@ impl EventQueue {
     /// Whether the stamp table proves this event would be ignored by
     /// its handler (container slot re-occupied, or epoch superseded).
     fn is_stale(&self, event: &Event) -> bool {
-        let Some((container, epoch)) = event.kind.guard() else {
-            return false;
-        };
-        match self.stamps.get(container.slot()) {
-            Some(stamp) => {
-                stamp.seq > container.seq()
-                    || (stamp.seq == container.seq() && epoch < stamp.min_epoch)
-            }
-            None => false,
-        }
+        stale(&self.stamps, event)
     }
 
     /// Pops the earliest live event (FIFO among equal timestamps).
@@ -351,6 +361,57 @@ impl EventQueue {
             }
             return Some(event);
         }
+    }
+
+    /// Drains every live event at the earliest pending timestamp into
+    /// `out` (cleared first), in FIFO (`seq`) order, and returns that
+    /// timestamp. `out` is a caller-owned scratch buffer so its
+    /// capacity is recycled across ticks.
+    ///
+    /// Popping a whole tick is observably identical to popping the same
+    /// events one at a time: the batch is exactly the pending events at
+    /// the tick in total (time, seq) order, and anything a handler
+    /// pushes *at* the tick gets a higher `seq` than every batched
+    /// event, so it lands in the next batch just as it would land after
+    /// the in-flight pops. An event that becomes stale mid-batch (its
+    /// container was reused by an earlier event in the same tick) is
+    /// still delivered, exactly as per-event popping would deliver it —
+    /// the engine's epoch re-checks make it a no-op either way; the
+    /// stamp filter here only drops events already stale at drain time.
+    pub fn pop_tick(&mut self, out: &mut Vec<Event>) -> Option<Instant> {
+        out.clear();
+        let first = self.pop()?;
+        let tick = first.time;
+        out.push(first);
+        let EventQueue {
+            backend,
+            len,
+            stamps,
+            ..
+        } = self;
+        match backend {
+            Backend::Wheel(w) => {
+                // Wheel invariant: after a pop, `current` holds exactly
+                // the remaining events at `cursor == tick`, seq-sorted.
+                while let Some(event) = w.current.pop_front() {
+                    debug_assert_eq!(event.time, tick);
+                    *len -= 1;
+                    if !stale(stamps, &event) {
+                        out.push(event);
+                    }
+                }
+            }
+            Backend::Heap(h) => {
+                while h.peek().is_some_and(|e| e.time == tick) {
+                    let event = h.pop().expect("peeked event exists");
+                    *len -= 1;
+                    if !stale(stamps, &event) {
+                        out.push(event);
+                    }
+                }
+            }
+        }
+        Some(tick)
     }
 
     /// Number of pending events (stale events still count until they
@@ -563,6 +624,93 @@ mod tests {
         let popped = q.pop().unwrap();
         assert_eq!(popped.time, t(30));
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_tick_drains_exactly_one_timestamp() {
+        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            let mut q = EventQueue::with_backend(kind);
+            q.push(t(10), prewarm(0));
+            q.push(t(20), prewarm(1));
+            q.push(t(10), prewarm(2));
+            q.push(t(10), prewarm(3));
+            let mut batch = Vec::new();
+            assert_eq!(q.pop_tick(&mut batch), Some(t(10)));
+            let fns: Vec<u32> = batch
+                .iter()
+                .map(|e| match e.kind {
+                    EventKind::PrewarmFire { function } => function.index() as u32,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(fns, vec![0, 2, 3]);
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop_tick(&mut batch), Some(t(20)));
+            assert_eq!(batch.len(), 1);
+            assert_eq!(q.pop_tick(&mut batch), None);
+            assert!(batch.is_empty());
+        }
+    }
+
+    #[test]
+    fn pushes_at_current_tick_land_in_next_batch() {
+        // A handler processing tick T may schedule new work at T; it
+        // must surface in the *next* batch, after everything already
+        // drained — the same order per-event popping would produce.
+        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            let mut q = EventQueue::with_backend(kind);
+            q.push(t(10), prewarm(0));
+            let mut batch = Vec::new();
+            assert_eq!(q.pop_tick(&mut batch), Some(t(10)));
+            assert_eq!(batch.len(), 1);
+            q.push(t(10), prewarm(1));
+            q.push(t(10), prewarm(2));
+            assert_eq!(q.pop_tick(&mut batch), Some(t(10)));
+            assert_eq!(batch.len(), 2);
+        }
+    }
+
+    #[test]
+    fn pop_tick_drops_stale_events() {
+        let c = ContainerId::from_parts(1, 3);
+        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            let mut q = EventQueue::with_backend(kind);
+            q.push(
+                t(10),
+                EventKind::IdleTimeout {
+                    container: c,
+                    epoch: 0,
+                },
+            );
+            q.push(t(10), prewarm(7));
+            q.note(c, 5);
+            let mut batch = Vec::new();
+            assert_eq!(q.pop_tick(&mut batch), Some(t(10)));
+            assert_eq!(batch.len(), 1);
+            assert!(matches!(
+                batch[0].kind,
+                EventKind::PrewarmFire { function } if function.index() == 7
+            ));
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn pop_tick_matches_per_event_pops() {
+        let times = [7u64, 7, 0, 3, 100_000, 64, 65, 63, 4096, 7, 1 << 40, 0];
+        let mut batched = EventQueue::new();
+        let mut single = EventQueue::new();
+        for (i, &us) in times.iter().enumerate() {
+            batched.push(t(us), prewarm(i as u32));
+            single.push(t(us), prewarm(i as u32));
+        }
+        let mut batch = Vec::new();
+        let mut from_batches = Vec::new();
+        while batched.pop_tick(&mut batch).is_some() {
+            from_batches.extend(batch.iter().copied());
+        }
+        let from_pops: Vec<Event> = std::iter::from_fn(|| single.pop()).collect();
+        assert_eq!(from_batches, from_pops);
     }
 
     #[test]

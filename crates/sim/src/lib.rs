@@ -43,5 +43,5 @@ pub mod event;
 pub mod pool;
 pub mod tiered;
 
-pub use config::{CheckpointConfig, SimConfig};
-pub use engine::run;
+pub use config::{CheckpointConfig, DispatchMode, SimConfig};
+pub use engine::{run, run_with_profile, EngineProfile};

@@ -12,18 +12,29 @@
 //! `BTreeMap`-backed pool did — determinism of simulations is
 //! unchanged.
 //!
+//! The slab is split **struct-of-arrays** (DESIGN.md §9): the fields the
+//! per-event hot paths read — lifecycle tag, owner, layer, language,
+//! memory, idle timestamps, hit count — are mirrored into parallel
+//! dense arrays keyed by slot ([`Hot`]), while cold state (the layer
+//! stack machine, packed sets, assigned invocations) stays in the
+//! [`Container`] slab. Victim scans, idle-view rebuilds, and expiry
+//! checks touch only the contiguous hot arrays; the slab is consulted
+//! only for the rare container with a non-empty packed set.
+//!
 //! Besides the primary slab, the pool maintains a set of secondary
 //! indices (idle containers, idle `User` containers per owner, idle
-//! containers per installed language, attachable in-flight
-//! initializations per function, and an initializing count) so the
-//! engine's per-arrival work — reuse-candidate collection, availability
-//! checks, the Fig. 13 contention model, and eviction-victim
-//! enumeration — never scans the whole pool. The indices are kept in
+//! containers per installed language and per exact layer, attachable
+//! in-flight initializations per function, and an initializing count)
+//! so the engine's per-arrival work — reuse-candidate collection,
+//! availability checks, the Fig. 13 contention model, and
+//! eviction-victim enumeration — never scans the whole pool. Indices
+//! are sorted dense vectors (append fast path, binary-search otherwise)
+//! rather than B-trees: container churn is constant, and a short
+//! `memmove` beats rebalancing node pointers. The indices are kept in
 //! lockstep with container state: every mutable container access goes
 //! through the [`ContainerMut`] guard, which re-derives the container's
-//! index entries when it is dropped.
+//! index entries and hot-array mirror when it is dropped.
 
-use std::collections::{BTreeMap, BTreeSet};
 use std::ops::{Deref, DerefMut};
 
 use rainbowcake_core::lifecycle::LifecycleState;
@@ -33,6 +44,178 @@ use rainbowcake_core::time::Instant;
 use rainbowcake_core::types::{ContainerId, FunctionId, Language, Layer};
 
 use crate::container::Container;
+
+/// Hot-array lifecycle tags.
+const STATE_EMPTY: u8 = 0;
+const STATE_INITIALIZING: u8 = 1;
+const STATE_IDLE: u8 = 2;
+const STATE_RUNNING: u8 = 3;
+const STATE_TERMINATED: u8 = 4;
+
+/// Hot-array sentinel for "no layer" (terminated) and "no language".
+const TAG_NONE: u8 = 3;
+/// Hot-array sentinel for "no owner".
+const NO_OWNER: u32 = u32::MAX;
+
+/// The struct-of-arrays mirror of the slab's hot fields, keyed by pool
+/// slot. Each array holds the value for the slot's *current* occupant
+/// (`seq` names its generation); empty slots carry [`STATE_EMPTY`].
+///
+/// Invariant: after every pool mutation — insert, remove, resize, or a
+/// [`ContainerMut`] guard drop — each live container's hot entries
+/// equal the values derived from its slab state. The proptest
+/// `soa_hot_arrays_stay_coherent` exercises this via
+/// [`Pool::assert_hot_coherent`].
+#[derive(Debug, Default)]
+struct Hot {
+    /// Lifecycle tag (`STATE_*`).
+    state: Vec<u8>,
+    /// Occupant's creation sequence (generation check without touching
+    /// the slab).
+    seq: Vec<u32>,
+    /// Owning function of an idle `User` container, else [`NO_OWNER`].
+    owner: Vec<u32>,
+    /// Installed/target layer (`Layer as u8`), [`TAG_NONE`] if none.
+    layer: Vec<u8>,
+    /// Installed language ([`Language::index`]), [`TAG_NONE`] if none.
+    lang: Vec<u8>,
+    /// Memory footprint in MB.
+    mem_mb: Vec<u64>,
+    /// Start of the current idle interval, in microseconds.
+    idle_since: Vec<u64>,
+    /// Creation time, in microseconds.
+    created: Vec<u64>,
+    /// Completed executions.
+    hits: Vec<u32>,
+    /// Whether the occupant's packed set is non-empty (only then does a
+    /// view rebuild touch the slab).
+    has_packed: Vec<bool>,
+}
+
+fn layer_tag(layer: Option<Layer>) -> u8 {
+    match layer {
+        Some(l) => l as u8,
+        None => TAG_NONE,
+    }
+}
+
+fn lang_tag(lang: Option<Language>) -> u8 {
+    match lang {
+        Some(l) => l.index() as u8,
+        None => TAG_NONE,
+    }
+}
+
+impl Hot {
+    fn ensure(&mut self, slot: usize) {
+        if slot >= self.state.len() {
+            let n = slot + 1;
+            self.state.resize(n, STATE_EMPTY);
+            self.seq.resize(n, 0);
+            self.owner.resize(n, NO_OWNER);
+            self.layer.resize(n, TAG_NONE);
+            self.lang.resize(n, TAG_NONE);
+            self.mem_mb.resize(n, 0);
+            self.idle_since.resize(n, 0);
+            self.created.resize(n, 0);
+            self.hits.resize(n, 0);
+            self.has_packed.resize(n, false);
+        }
+    }
+
+    /// Mirrors every hot field of `c` into the arrays (unconditional:
+    /// ten dense stores are cheaper than diffing).
+    fn record(&mut self, c: &Container) {
+        let slot = c.id.slot();
+        self.ensure(slot);
+        self.state[slot] = match c.state {
+            LifecycleState::Initializing { .. } => STATE_INITIALIZING,
+            LifecycleState::Idle { .. } => STATE_IDLE,
+            LifecycleState::Running { .. } => STATE_RUNNING,
+            LifecycleState::Terminated => STATE_TERMINATED,
+        };
+        self.seq[slot] = c.id.seq();
+        self.owner[slot] = match c.owner() {
+            Some(f) => f.index() as u32,
+            None => NO_OWNER,
+        };
+        self.layer[slot] = layer_tag(c.layer());
+        self.lang[slot] = lang_tag(c.language());
+        self.mem_mb[slot] = c.memory.as_mb();
+        self.idle_since[slot] = c.idle_since.as_micros();
+        self.created[slot] = c.created_at.as_micros();
+        self.hits[slot] = c.hits;
+        self.has_packed[slot] = !c.packed.is_empty();
+    }
+
+    fn clear(&mut self, slot: usize) {
+        self.state[slot] = STATE_EMPTY;
+        self.owner[slot] = NO_OWNER;
+        self.layer[slot] = TAG_NONE;
+        self.lang[slot] = TAG_NONE;
+        self.has_packed[slot] = false;
+    }
+}
+
+/// A sorted vector of container ids (creation order, because id order
+/// *is* creation order). Inserts append when ids arrive in order — the
+/// common case, since fresh containers always carry the largest id —
+/// and fall back to a binary-search shift otherwise.
+#[derive(Debug, Default, Clone)]
+struct IdSet(Vec<ContainerId>);
+
+impl IdSet {
+    #[inline]
+    fn insert(&mut self, id: ContainerId) {
+        match self.0.last() {
+            Some(&last) if last < id => self.0.push(id),
+            None => self.0.push(id),
+            _ => {
+                if let Err(pos) = self.0.binary_search(&id) {
+                    self.0.insert(pos, id);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, id: ContainerId) {
+        if let Ok(pos) = self.0.binary_search(&id) {
+            self.0.remove(pos);
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = ContainerId> + '_ {
+        self.0.iter().copied()
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// A dense per-function table, grown on demand (function ids are small
+/// catalog indices).
+#[derive(Debug, Default)]
+struct FnTable<T>(Vec<T>);
+
+impl<T: Default> FnTable<T> {
+    fn entry(&mut self, f: FunctionId) -> &mut T {
+        let i = f.index();
+        if i >= self.0.len() {
+            self.0.resize_with(i + 1, T::default);
+        }
+        &mut self.0[i]
+    }
+
+    fn get(&self, f: FunctionId) -> Option<&T> {
+        self.0.get(f.index())
+    }
+}
 
 /// The index-relevant facets of one container, derived from its state.
 ///
@@ -47,6 +230,12 @@ struct IndexKey {
     idle_user: Option<FunctionId>,
     /// `Some(language)` iff idle with an installed language.
     idle_lang: Option<Language>,
+    /// `Some(language)` iff idle at exactly the `Lang` layer — the
+    /// partial-warm candidates layer-aware policies serve `SharedLang`
+    /// grants from.
+    idle_lang_layer: Option<Language>,
+    /// Idle at exactly the `Bare` layer (`SharedBare` candidates).
+    idle_bare: bool,
     /// In the `Initializing` lifecycle state (drives the contention
     /// model's concurrency count).
     initializing: bool,
@@ -58,16 +247,23 @@ struct IndexKey {
 impl IndexKey {
     fn of(c: &Container) -> IndexKey {
         let idle = c.is_idle();
+        let layer = c.layer();
         IndexKey {
             idle,
-            idle_user: if idle && c.layer() == Some(Layer::User) {
+            idle_user: if idle && layer == Some(Layer::User) {
                 c.owner()
             } else {
                 None
             },
             idle_lang: if idle { c.language() } else { None },
+            idle_lang_layer: if idle && layer == Some(Layer::Lang) {
+                c.language()
+            } else {
+                None
+            },
+            idle_bare: idle && layer == Some(Layer::Bare),
             initializing: matches!(c.state, LifecycleState::Initializing { .. }),
-            attachable: if c.is_attachable_init() && c.layer() == Some(Layer::User) {
+            attachable: if c.is_attachable_init() && layer == Some(Layer::User) {
                 c.init_for.map(|f| (f, c.init_done_at))
             } else {
                 None
@@ -80,19 +276,25 @@ impl IndexKey {
 #[derive(Debug, Default)]
 struct PoolIndex {
     /// All idle containers, in id (creation) order.
-    idle: BTreeSet<ContainerId>,
+    idle: IdSet,
     /// Idle `User` containers per owning function, in id order.
-    idle_user_by_fn: BTreeMap<FunctionId, BTreeSet<ContainerId>>,
+    idle_user_by_fn: FnTable<IdSet>,
     /// Idle `User` containers per packed function, in id order. Together
     /// with `idle_user_by_fn` this covers every container the default
     /// owned-or-packed reuse rule can match, so arrivals under that rule
     /// never need to scan the whole idle set.
-    idle_packed_by_fn: BTreeMap<FunctionId, BTreeSet<ContainerId>>,
-    /// Idle containers per installed language, in id order.
-    idle_by_lang: BTreeMap<Language, BTreeSet<ContainerId>>,
+    idle_packed_by_fn: FnTable<IdSet>,
+    /// Idle containers per installed language (any layer), in id order.
+    idle_by_lang: [IdSet; 3],
+    /// Idle containers at exactly the `Lang` layer, per language — the
+    /// dense `SharedLang` candidate cache of layer-aware reuse scopes.
+    idle_lang_layer: [IdSet; 3],
+    /// Idle containers at exactly the `Bare` layer (`SharedBare`
+    /// candidates).
+    idle_bare: IdSet,
     /// Attachable `User`-target initializations per function, ordered by
     /// (completion time, id) so the first element is the `Load` target.
-    attachable_by_fn: BTreeMap<FunctionId, BTreeSet<(Instant, ContainerId)>>,
+    attachable_by_fn: FnTable<Vec<(Instant, ContainerId)>>,
     /// Containers currently in the `Initializing` state.
     initializing: usize,
     /// Bumped whenever the idle set — or any view-visible field of an
@@ -119,19 +321,25 @@ impl PoolIndex {
             self.idle_gen += 1;
         }
         if let Some(f) = key.idle_user {
-            self.idle_user_by_fn.entry(f).or_default().insert(id);
+            self.idle_user_by_fn.entry(f).insert(id);
         }
         for &f in packed {
-            self.idle_packed_by_fn.entry(f).or_default().insert(id);
+            self.idle_packed_by_fn.entry(f).insert(id);
         }
         if let Some(lang) = key.idle_lang {
-            self.idle_by_lang.entry(lang).or_default().insert(id);
+            self.idle_by_lang[lang.index()].insert(id);
+        }
+        if let Some(lang) = key.idle_lang_layer {
+            self.idle_lang_layer[lang.index()].insert(id);
+        }
+        if key.idle_bare {
+            self.idle_bare.insert(id);
         }
         if let Some((f, done)) = key.attachable {
-            self.attachable_by_fn
-                .entry(f)
-                .or_default()
-                .insert((done, id));
+            let list = self.attachable_by_fn.entry(f);
+            if let Err(pos) = list.binary_search(&(done, id)) {
+                list.insert(pos, (done, id));
+            }
         }
         if key.initializing {
             self.initializing += 1;
@@ -140,39 +348,28 @@ impl PoolIndex {
 
     fn unlink(&mut self, id: ContainerId, key: &IndexKey, packed: &[FunctionId]) {
         if key.idle {
-            self.idle.remove(&id);
+            self.idle.remove(id);
             self.idle_gen += 1;
         }
         if let Some(f) = key.idle_user {
-            if let Some(set) = self.idle_user_by_fn.get_mut(&f) {
-                set.remove(&id);
-                if set.is_empty() {
-                    self.idle_user_by_fn.remove(&f);
-                }
-            }
+            self.idle_user_by_fn.entry(f).remove(id);
         }
         for &f in packed {
-            if let Some(set) = self.idle_packed_by_fn.get_mut(&f) {
-                set.remove(&id);
-                if set.is_empty() {
-                    self.idle_packed_by_fn.remove(&f);
-                }
-            }
+            self.idle_packed_by_fn.entry(f).remove(id);
         }
         if let Some(lang) = key.idle_lang {
-            if let Some(set) = self.idle_by_lang.get_mut(&lang) {
-                set.remove(&id);
-                if set.is_empty() {
-                    self.idle_by_lang.remove(&lang);
-                }
-            }
+            self.idle_by_lang[lang.index()].remove(id);
+        }
+        if let Some(lang) = key.idle_lang_layer {
+            self.idle_lang_layer[lang.index()].remove(id);
+        }
+        if key.idle_bare {
+            self.idle_bare.remove(id);
         }
         if let Some((f, done)) = key.attachable {
-            if let Some(set) = self.attachable_by_fn.get_mut(&f) {
-                set.remove(&(done, id));
-                if set.is_empty() {
-                    self.attachable_by_fn.remove(&f);
-                }
+            let list = self.attachable_by_fn.entry(f);
+            if let Ok(pos) = list.binary_search(&(done, id)) {
+                list.remove(pos);
             }
         }
         if key.initializing {
@@ -182,11 +379,13 @@ impl PoolIndex {
 }
 
 /// Exclusive access to one container that re-derives the pool's indices
-/// for it on drop, keeping them in lockstep with any state change.
+/// and hot-array mirror for it on drop, keeping them in lockstep with
+/// any state change.
 #[derive(Debug)]
 pub struct ContainerMut<'p> {
     container: &'p mut Container,
     index: &'p mut PoolIndex,
+    hot: &'p mut Hot,
     old_key: IndexKey,
     /// The container's packed-index contribution at guard creation.
     /// Empty in every state but an idle `User` container with a packed
@@ -221,6 +420,9 @@ impl Drop for ContainerMut<'_> {
             // invalidate the view cache.
             self.index.idle_gen += 1;
         }
+        // Unconditionally re-mirror the hot arrays: any field the guard
+        // exposed may have changed.
+        self.hot.record(self.container);
     }
 }
 
@@ -234,12 +436,14 @@ impl Drop for ContainerMut<'_> {
 pub struct Pool {
     capacity: MemMb,
     used: MemMb,
-    /// Slab storage, indexed by `ContainerId::slot`.
+    /// Slab storage (cold fields), indexed by `ContainerId::slot`.
     slots: Vec<Option<Container>>,
+    /// Struct-of-arrays mirror of the hot fields, same indexing.
+    hot: Hot,
     /// Vacated slots available for reuse (LIFO).
     free: Vec<u32>,
     /// Ids of live containers, in creation order.
-    live: BTreeSet<ContainerId>,
+    live: IdSet,
     /// Next creation sequence number.
     next_seq: u32,
     /// Lowest never-used slot.
@@ -259,8 +463,9 @@ impl Pool {
             capacity,
             used: MemMb::ZERO,
             slots: Vec::new(),
+            hot: Hot::default(),
             free: Vec::new(),
-            live: BTreeSet::new(),
+            live: IdSet::default(),
             next_seq: 0,
             next_slot: 0,
             index: PoolIndex::default(),
@@ -332,6 +537,7 @@ impl Pool {
         self.next_seq = self.next_seq.max(id.seq() + 1);
         let key = IndexKey::of(&container);
         self.index.link(id, &key, indexed_packed(&key, &container));
+        self.hot.record(&container);
         self.slots[slot] = Some(container);
         self.live.insert(id);
     }
@@ -348,9 +554,10 @@ impl Pool {
             Some(entry) if entry.as_ref().is_some_and(|c| c.id == id) => {
                 let c = entry.take().expect("checked occupied");
                 self.free.push(slot as u32);
-                self.live.remove(&id);
+                self.live.remove(id);
                 let key = IndexKey::of(&c);
                 self.index.unlink(id, &key, indexed_packed(&key, &c));
+                self.hot.clear(slot);
                 self.used -= c.memory;
                 c
             }
@@ -364,9 +571,11 @@ impl Pool {
     }
 
     /// Exclusive access to a container; the returned guard re-indexes
-    /// the container when dropped.
+    /// the container (and refreshes its hot-array mirror) when dropped.
     pub fn get_mut(&mut self, id: ContainerId) -> Option<ContainerMut<'_>> {
-        let Pool { slots, index, .. } = self;
+        let Pool {
+            slots, index, hot, ..
+        } = self;
         let container = slots.get_mut(id.slot())?.as_mut()?;
         if container.id != id {
             return None;
@@ -376,6 +585,7 @@ impl Pool {
         Some(ContainerMut {
             container,
             index,
+            hot,
             old_key,
             old_packed,
         })
@@ -402,6 +612,7 @@ impl Pool {
         );
         self.used = new_used;
         c.memory = new_memory;
+        self.hot.mem_mb[id.slot()] = new_memory.as_mb();
         if c.is_idle() {
             // Memory is view-visible, so a resize of an idle container
             // invalidates the cached views.
@@ -426,17 +637,17 @@ impl Pool {
 
     /// Iterates over containers in id (creation) order.
     pub fn iter(&self) -> impl Iterator<Item = &Container> {
-        self.live.iter().map(|&id| self.by_slot(id))
+        self.live.0.iter().map(|&id| self.by_slot(id))
     }
 
     /// Iterates over idle containers in id order (index-backed).
     pub fn idle_containers(&self) -> impl Iterator<Item = &Container> {
-        self.index.idle.iter().map(|&id| self.by_slot(id))
+        self.index.idle.0.iter().map(|&id| self.by_slot(id))
     }
 
     /// Ids of all idle containers, in id order (index-backed).
     pub fn idle_ids(&self) -> impl Iterator<Item = ContainerId> + '_ {
-        self.index.idle.iter().copied()
+        self.index.idle.iter()
     }
 
     /// Ids of idle `User` containers owned by `f`, in id order
@@ -444,9 +655,9 @@ impl Pool {
     pub fn idle_user_ids(&self, f: FunctionId) -> impl Iterator<Item = ContainerId> + '_ {
         self.index
             .idle_user_by_fn
-            .get(&f)
+            .get(f)
             .into_iter()
-            .flat_map(|set| set.iter().copied())
+            .flat_map(|set| set.iter())
     }
 
     /// Ids of idle `User` containers whose packed set includes `f`, in
@@ -456,19 +667,60 @@ impl Pool {
     pub fn idle_packed_ids(&self, f: FunctionId) -> impl Iterator<Item = ContainerId> + '_ {
         self.index
             .idle_packed_by_fn
-            .get(&f)
+            .get(f)
             .into_iter()
-            .flat_map(|set| set.iter().copied())
+            .flat_map(|set| set.iter())
     }
 
-    /// Ids of idle containers with `language` installed, in id order
-    /// (index-backed).
+    /// Ids of idle containers with `language` installed (any layer), in
+    /// id order (index-backed).
     pub fn idle_language_ids(&self, language: Language) -> impl Iterator<Item = ContainerId> + '_ {
-        self.index
-            .idle_by_lang
-            .get(&language)
-            .into_iter()
-            .flat_map(|set| set.iter().copied())
+        self.index.idle_by_lang[language.index()].iter()
+    }
+
+    /// Ids of idle containers at exactly the `Lang` layer for
+    /// `language`, in id order (index-backed): the `SharedLang`
+    /// candidates of layer-aware reuse scopes.
+    pub fn idle_lang_layer_ids(
+        &self,
+        language: Language,
+    ) -> impl Iterator<Item = ContainerId> + '_ {
+        self.index.idle_lang_layer[language.index()].iter()
+    }
+
+    /// Ids of idle containers at exactly the `Bare` layer, in id order
+    /// (index-backed): the `SharedBare` candidates.
+    pub fn idle_bare_ids(&self) -> impl Iterator<Item = ContainerId> + '_ {
+        self.index.idle_bare.iter()
+    }
+
+    /// The idle-interval start of a live container, read from the hot
+    /// arrays (no slab access).
+    pub fn idle_since_of(&self, id: ContainerId) -> Instant {
+        let slot = id.slot();
+        debug_assert_eq!(self.hot.seq[slot], id.seq(), "stale id");
+        Instant::from_micros(self.hot.idle_since[slot])
+    }
+
+    /// The owner of a live idle `User` container (None for every other
+    /// state), read from the hot arrays.
+    pub fn owner_of(&self, id: ContainerId) -> Option<FunctionId> {
+        let slot = id.slot();
+        debug_assert_eq!(self.hot.seq[slot], id.seq(), "stale id");
+        match self.hot.owner[slot] {
+            NO_OWNER => None,
+            raw => Some(FunctionId::new(raw)),
+        }
+    }
+
+    /// The policy-facing view of a live container, built from the hot
+    /// arrays (the slab is touched only for a non-empty packed set).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the id is stale.
+    pub fn view_of(&self, id: ContainerId) -> ContainerView {
+        self.view_from_hot(id)
     }
 
     /// Views of all idle containers, optionally excluding one id, in id
@@ -479,24 +731,49 @@ impl Pool {
         out
     }
 
+    /// Builds the policy-facing view of a live container from the hot
+    /// arrays; the slab is touched only for a non-empty packed set.
+    fn view_from_hot(&self, id: ContainerId) -> ContainerView {
+        let slot = id.slot();
+        debug_assert_eq!(self.hot.seq[slot], id.seq(), "stale id");
+        ContainerView {
+            id,
+            layer: match self.hot.layer[slot] {
+                0 => Layer::Bare,
+                1 => Layer::Lang,
+                2 => Layer::User,
+                _ => unreachable!("live container has a layer"),
+            },
+            language: match self.hot.lang[slot] {
+                TAG_NONE => None,
+                i => Some(Language::ALL[i as usize]),
+            },
+            owner: match self.hot.owner[slot] {
+                NO_OWNER => None,
+                raw => Some(FunctionId::new(raw)),
+            },
+            packed: if self.hot.has_packed[slot] {
+                self.by_slot(id).packed.clone()
+            } else {
+                Vec::new()
+            },
+            memory: MemMb::new(self.hot.mem_mb[slot]),
+            idle_since: Instant::from_micros(self.hot.idle_since[slot]),
+            created_at: Instant::from_micros(self.hot.created[slot]),
+            hits: self.hot.hits[slot],
+        }
+    }
+
     /// Rebuilds the idle-view cache iff the idle generation moved since
-    /// the last build.
+    /// the last build. The rebuild walks only the contiguous hot arrays.
     fn refresh_view_cache(&mut self) {
         if self.view_cache_gen == self.index.idle_gen {
             return;
         }
-        let Pool {
-            slots,
-            index,
-            view_cache,
-            ..
-        } = self;
-        view_cache.clear();
-        view_cache.extend(index.idle.iter().map(|&id| {
-            let c = slots[id.slot()].as_ref().expect("indexed slot empty");
-            debug_assert_eq!(c.id, id, "index points at a stale generation");
-            c.view()
-        }));
+        let mut cache = std::mem::take(&mut self.view_cache);
+        cache.clear();
+        cache.extend(self.index.idle.iter().map(|id| self.view_from_hot(id)));
+        self.view_cache = cache;
         self.view_cache_gen = self.index.idle_gen;
     }
 
@@ -530,9 +807,12 @@ impl Pool {
     }
 
     /// Whether an idle `User` container owned by `f` exists (Alg. 1's
-    /// availability check). Index-backed: one map lookup.
+    /// availability check). Index-backed: one dense-table lookup.
     pub fn has_idle_user(&self, f: FunctionId) -> bool {
-        self.index.idle_user_by_fn.contains_key(&f)
+        self.index
+            .idle_user_by_fn
+            .get(f)
+            .is_some_and(|set| !set.is_empty())
     }
 
     /// Number of containers currently initializing (drives the Fig. 13
@@ -543,13 +823,89 @@ impl Pool {
 
     /// The attachable in-flight initialization for `f` that completes
     /// earliest, if any (the `Load` reuse path). Index-backed: the first
-    /// element of the per-function (completion, id) set.
+    /// element of the per-function (completion, id) list.
     pub fn earliest_attachable_init(&self, f: FunctionId) -> Option<&Container> {
         self.index
             .attachable_by_fn
-            .get(&f)
-            .and_then(|set| set.first())
+            .get(f)
+            .and_then(|list| list.first())
             .map(|&(_, id)| self.by_slot(id))
+    }
+
+    /// Asserts that every hot-array entry matches the value derived
+    /// from its slab container, and that vacated slots are tagged
+    /// empty. Test-facing: the SoA coherence proptest calls this after
+    /// every operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any divergence between hot arrays and slab state.
+    pub fn assert_hot_coherent(&self) {
+        for (slot, entry) in self.slots.iter().enumerate() {
+            match entry {
+                None => {
+                    assert_eq!(
+                        self.hot.state[slot], STATE_EMPTY,
+                        "vacant slot {slot} not tagged empty"
+                    );
+                }
+                Some(c) => {
+                    let expect_state = match c.state {
+                        LifecycleState::Initializing { .. } => STATE_INITIALIZING,
+                        LifecycleState::Idle { .. } => STATE_IDLE,
+                        LifecycleState::Running { .. } => STATE_RUNNING,
+                        LifecycleState::Terminated => STATE_TERMINATED,
+                    };
+                    assert_eq!(self.hot.state[slot], expect_state, "state of {}", c.id);
+                    assert_eq!(self.hot.seq[slot], c.id.seq(), "seq of {}", c.id);
+                    let expect_owner = match c.owner() {
+                        Some(f) => f.index() as u32,
+                        None => NO_OWNER,
+                    };
+                    assert_eq!(self.hot.owner[slot], expect_owner, "owner of {}", c.id);
+                    assert_eq!(
+                        self.hot.layer[slot],
+                        layer_tag(c.layer()),
+                        "layer of {}",
+                        c.id
+                    );
+                    assert_eq!(
+                        self.hot.lang[slot],
+                        lang_tag(c.language()),
+                        "lang of {}",
+                        c.id
+                    );
+                    assert_eq!(self.hot.mem_mb[slot], c.memory.as_mb(), "mem of {}", c.id);
+                    assert_eq!(
+                        self.hot.idle_since[slot],
+                        c.idle_since.as_micros(),
+                        "idle_since of {}",
+                        c.id
+                    );
+                    assert_eq!(
+                        self.hot.created[slot],
+                        c.created_at.as_micros(),
+                        "created of {}",
+                        c.id
+                    );
+                    assert_eq!(self.hot.hits[slot], c.hits, "hits of {}", c.id);
+                    assert_eq!(
+                        self.hot.has_packed[slot],
+                        !c.packed.is_empty(),
+                        "has_packed of {}",
+                        c.id
+                    );
+                    if c.is_idle() {
+                        assert_eq!(
+                            self.view_from_hot(c.id),
+                            c.view(),
+                            "hot-built view of {}",
+                            c.id
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -594,6 +950,7 @@ mod tests {
         p.remove(ContainerId::new(1));
         assert_eq!(p.used(), MemMb::new(100));
         assert_eq!(p.len(), 1);
+        p.assert_hot_coherent();
     }
 
     #[test]
@@ -679,6 +1036,7 @@ mod tests {
         assert!(p.get_mut(a).is_none());
         assert!(p.get(b).is_some());
         assert_eq!(p.len(), 1);
+        p.assert_hot_coherent();
     }
 
     #[test]
@@ -712,12 +1070,14 @@ mod tests {
             p.idle_language_ids(Language::Python).collect::<Vec<_>>(),
             vec![ContainerId::new(0)]
         );
+        p.assert_hot_coherent();
 
         // Removal unlinks everywhere.
         p.remove(ContainerId::new(0));
         assert!(!p.has_idle_user(FunctionId::new(0)));
         assert_eq!(p.idle_ids().count(), 0);
         assert_eq!(p.idle_language_ids(Language::Python).count(), 0);
+        p.assert_hot_coherent();
     }
 
     #[test]
@@ -738,6 +1098,7 @@ mod tests {
             vec![ContainerId::new(0)]
         );
         assert_eq!(p.idle_packed_ids(f2).count(), 1);
+        p.assert_hot_coherent();
 
         // Shrinking the packed set unlinks just the dropped function.
         {
@@ -762,6 +1123,7 @@ mod tests {
             c.finish_exec(Language::Python).unwrap();
         }
         assert_eq!(p.idle_packed_ids(f2).count(), 1);
+        p.assert_hot_coherent();
 
         // Removal unlinks the packed entries with everything else.
         p.remove(ContainerId::new(0));
@@ -835,5 +1197,101 @@ mod tests {
         assert!(p.earliest_attachable_init(FunctionId::new(0)).is_none());
         // Still initializing, though.
         assert_eq!(p.initializing_count(), 1);
+    }
+
+    #[test]
+    fn layer_indices_track_downgrades() {
+        let mut p = Pool::new(MemMb::new(1_000));
+        p.insert(idle_container(0, 100)); // idle User, Python
+        assert_eq!(p.idle_lang_layer_ids(Language::Python).count(), 0);
+        assert_eq!(p.idle_bare_ids().count(), 0);
+
+        // Downgrading User -> Lang moves the container into the
+        // lang-layer index (and out of the per-owner one).
+        {
+            let mut c = p.get_mut(ContainerId::new(0)).unwrap();
+            c.apply(LifecycleEvent::Downgrade).unwrap();
+        }
+        assert!(!p.has_idle_user(FunctionId::new(0)));
+        assert_eq!(
+            p.idle_lang_layer_ids(Language::Python).collect::<Vec<_>>(),
+            vec![ContainerId::new(0)]
+        );
+        assert_eq!(p.idle_language_ids(Language::Python).count(), 1);
+        assert_eq!(p.idle_bare_ids().count(), 0);
+        p.assert_hot_coherent();
+
+        // Lang -> Bare moves it into the bare index and out of every
+        // language index.
+        {
+            let mut c = p.get_mut(ContainerId::new(0)).unwrap();
+            c.apply(LifecycleEvent::Downgrade).unwrap();
+        }
+        assert_eq!(p.idle_lang_layer_ids(Language::Python).count(), 0);
+        assert_eq!(p.idle_language_ids(Language::Python).count(), 0);
+        assert_eq!(
+            p.idle_bare_ids().collect::<Vec<_>>(),
+            vec![ContainerId::new(0)]
+        );
+        p.assert_hot_coherent();
+
+        p.remove(ContainerId::new(0));
+        assert_eq!(p.idle_bare_ids().count(), 0);
+    }
+
+    #[test]
+    fn idle_since_reads_from_hot_arrays() {
+        let mut p = Pool::new(MemMb::new(1_000));
+        let mut c = idle_container(0, 100);
+        c.idle_since = Instant::from_micros(42);
+        p.insert(c);
+        assert_eq!(
+            p.idle_since_of(ContainerId::new(0)),
+            Instant::from_micros(42)
+        );
+        {
+            let mut g = p.get_mut(ContainerId::new(0)).unwrap();
+            g.idle_since = Instant::from_micros(99);
+        }
+        assert_eq!(
+            p.idle_since_of(ContainerId::new(0)),
+            Instant::from_micros(99)
+        );
+    }
+
+    #[test]
+    fn out_of_order_inserts_keep_indices_sorted() {
+        // Externally constructed ids arrive out of creation order; the
+        // sorted-vec indices must still iterate in id order.
+        let mut p = Pool::new(MemMb::new(10_000));
+        for raw in [
+            ContainerId::from_parts(5, 0),
+            ContainerId::from_parts(1, 1),
+            ContainerId::from_parts(3, 2),
+        ] {
+            let mut c = Container::new_initializing(
+                raw,
+                Instant::ZERO,
+                Layer::User,
+                FunctionId::new(0),
+                Some(Language::Python),
+                MemMb::new(100),
+                Instant::from_micros(1),
+            );
+            c.apply(LifecycleEvent::InitComplete {
+                language: Some(Language::Python),
+                owner: Some(FunctionId::new(0)),
+            })
+            .unwrap();
+            p.insert(c);
+        }
+        let ids: Vec<u32> = p.idle_ids().map(|id| id.seq()).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        let owned: Vec<u32> = p
+            .idle_user_ids(FunctionId::new(0))
+            .map(|id| id.seq())
+            .collect();
+        assert_eq!(owned, vec![1, 3, 5]);
+        p.assert_hot_coherent();
     }
 }

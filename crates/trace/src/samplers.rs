@@ -108,14 +108,35 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
 ///
 /// Panics in debug builds if `mean` is not positive or `cv` is negative.
 pub fn lognormal_mean_cv<R: Rng + ?Sized>(rng: &mut R, mean: f64, cv: f64) -> f64 {
-    debug_assert!(mean > 0.0, "lognormal mean must be positive");
     debug_assert!(cv >= 0.0, "lognormal cv must be non-negative");
     if cv == 0.0 {
+        debug_assert!(mean > 0.0, "lognormal mean must be positive");
         return mean;
     }
+    let (mu, sigma) = lognormal_params(mean, cv);
+    lognormal_from_params(rng, mu, sigma)
+}
+
+/// Converts a linear-space `(mean, cv)` pair into the underlying
+/// normal's `(mu, sigma)`. Hoisting this out of the sampling loop lets
+/// callers that draw many variates from one distribution (e.g. the
+/// simulator's per-function execution jitter) pay the two `ln`s and the
+/// `sqrt` once instead of per draw, with bit-identical results.
+///
+/// # Panics
+///
+/// Panics in debug builds if `mean` or `cv` is not positive.
+pub fn lognormal_params(mean: f64, cv: f64) -> (f64, f64) {
+    debug_assert!(mean > 0.0, "lognormal mean must be positive");
+    debug_assert!(cv > 0.0, "lognormal cv must be positive");
     let sigma2 = (1.0 + cv * cv).ln();
     let mu = mean.ln() - sigma2 / 2.0;
-    (mu + sigma2.sqrt() * standard_normal(rng)).exp()
+    (mu, sigma2.sqrt())
+}
+
+/// Samples a lognormal variate from precomputed [`lognormal_params`].
+pub fn lognormal_from_params<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
 }
 
 #[cfg(test)]

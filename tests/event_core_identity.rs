@@ -1,14 +1,17 @@
-//! Behaviour-preservation proof for the timer-wheel event core: the
-//! full experiment suite must produce `RunReport` JSON that is
-//! **byte-identical** between the timer-wheel backend (the default) and
-//! the original `BinaryHeap` reference, both sequentially and through
-//! the parallel executor at several thread counts.
+//! Behaviour-preservation proof for the timer-wheel event core and the
+//! tick-batched dispatch loop: the full experiment suite must produce
+//! `RunReport` JSON that is **byte-identical** between the timer-wheel
+//! backend (the default) and the original `BinaryHeap` reference, and
+//! between tick-batched dispatch (the default) and the original
+//! per-event loop — both sequentially and through the parallel executor
+//! at several thread counts.
 //!
 //! Together with `tests/parallel_identity.rs` this pins the entire
-//! observable output of the simulator across the PR that swapped the
-//! future-event list and the container store.
+//! observable output of the simulator across the PRs that swapped the
+//! future-event list, the container store, and the dispatch loop.
 
 use rainbowcake::sim::event::QueueKind;
+use rainbowcake::sim::DispatchMode;
 use rainbowcake_bench::{parallel, Testbed, BASELINE_NAMES};
 
 /// Serializes every report of a run set to its exact JSON bytes.
@@ -16,15 +19,17 @@ fn fingerprints(reports: &[rainbowcake_metrics::RunReport]) -> Vec<String> {
     reports.iter().map(|r| r.to_json()).collect()
 }
 
-/// Runs the full suite on `bed` with the given backend across
-/// `threads` workers (0 = sequential on the calling thread).
-fn suite(bed: &Testbed, kind: QueueKind, threads: usize) -> Vec<String> {
+/// Runs the full suite on `bed` with the given backend and dispatch
+/// mode across `threads` workers (0 = sequential on the calling
+/// thread).
+fn suite(bed: &Testbed, kind: QueueKind, dispatch: DispatchMode, threads: usize) -> Vec<String> {
     let mut bed_kind = Testbed {
         catalog: bed.catalog.clone(),
         trace: bed.trace.clone(),
         config: bed.config.clone(),
     };
     bed_kind.config.event_queue = kind;
+    bed_kind.config.dispatch = dispatch;
     let reports = if threads == 0 {
         bed_kind.run_all_sequential()
     } else {
@@ -43,21 +48,26 @@ fn suite(bed: &Testbed, kind: QueueKind, threads: usize) -> Vec<String> {
 #[test]
 fn full_suite_is_byte_identical_across_backends_and_threads() {
     let bed = Testbed::paper_8h();
-    // The heap backend, run sequentially, is the behavioural reference.
-    let reference = suite(&bed, QueueKind::BinaryHeap, 0);
+    // The heap backend popping one event at a time, run sequentially,
+    // is the behavioural reference.
+    let reference = suite(&bed, QueueKind::BinaryHeap, DispatchMode::PerEvent, 0);
     assert_eq!(reference.len(), BASELINE_NAMES.len());
-    for threads in [0, 1, 4] {
-        assert_eq!(
-            suite(&bed, QueueKind::TimerWheel, threads),
-            reference,
-            "timer wheel diverged from heap reference at {threads} threads"
-        );
+    for dispatch in [DispatchMode::PerEvent, DispatchMode::TickBatched] {
+        for threads in [0, 1, 4] {
+            assert_eq!(
+                suite(&bed, QueueKind::TimerWheel, dispatch, threads),
+                reference,
+                "timer wheel diverged from heap reference \
+                 ({dispatch:?}, {threads} threads)"
+            );
+        }
     }
-    // The heap itself is also thread-count invariant (sanity: the
-    // executor, not the backend, is what varies with threads).
+    // The heap itself is also invariant across dispatch modes and
+    // thread counts (sanity: the executor and the batcher, not the
+    // backend, are what vary here).
     assert_eq!(
-        suite(&bed, QueueKind::BinaryHeap, 4),
+        suite(&bed, QueueKind::BinaryHeap, DispatchMode::TickBatched, 4),
         reference,
-        "heap backend diverged across thread counts"
+        "heap backend diverged across dispatch modes and thread counts"
     );
 }

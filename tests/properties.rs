@@ -321,6 +321,11 @@ proptest! {
 fn assert_pool_indices_match_scan(pool: &mut rainbowcake::sim::pool::Pool) {
     use rainbowcake::sim::container::Container;
 
+    // The struct-of-arrays hot mirror must agree field-for-field with
+    // the slab cold state before any index is trusted (the indices are
+    // rebuilt from it on the fast paths).
+    pool.assert_hot_coherent();
+
     // The view accessors take `&mut self` (they refresh the
     // generation-tracked cache), so snapshot the expected idle set as
     // owned data before holding any scan borrow.
@@ -376,6 +381,33 @@ fn assert_pool_indices_match_scan(pool: &mut rainbowcake::sim::pool::Pool) {
             .map(|c| c.id)
             .collect();
         assert_eq!(pool.idle_language_ids(lang).collect::<Vec<_>>(), expect);
+
+        // Lang-*layer* same-language containers (the Layered-scope
+        // SharedLang candidate set — a strict subset of the above).
+        let expect_layer: Vec<_> = scan
+            .iter()
+            .filter(|c| c.is_idle() && c.layer() == Some(Layer::Lang) && c.language() == Some(lang))
+            .map(|c| c.id)
+            .collect();
+        assert_eq!(
+            pool.idle_lang_layer_ids(lang).collect::<Vec<_>>(),
+            expect_layer
+        );
+    }
+
+    // Bare-layer idle containers (the Layered-scope SharedBare set).
+    let expect_bare: Vec<_> = scan
+        .iter()
+        .filter(|c| c.is_idle() && c.layer() == Some(Layer::Bare))
+        .map(|c| c.id)
+        .collect();
+    assert_eq!(pool.idle_bare_ids().collect::<Vec<_>>(), expect_bare);
+
+    // Per-container hot-array accessors the engine scores from.
+    for c in scan.iter().filter(|c| c.is_idle()) {
+        assert_eq!(pool.idle_since_of(c.id), c.idle_since);
+        assert_eq!(pool.owner_of(c.id), c.owner());
+        assert_eq!(pool.view_of(c.id), c.view());
     }
 
     // Initializing count (the contention model's concurrency input).
@@ -445,7 +477,7 @@ proptest! {
                         3 => EventKind::IdleTimeout { container: ctr(b, c), epoch: a % 4 },
                         _ => EventKind::PrewarmFire { function: FunctionId::new((c % 6) as u32) },
                     };
-                    wheel.push(time, kind.clone());
+                    wheel.push(time, kind);
                     heap.push(time, kind);
                 }
                 // Invalidate stale epochs / whole containers.
