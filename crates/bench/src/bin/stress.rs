@@ -1,50 +1,63 @@
 //! Million-invocation stress run: drives a large synthesized
 //! multi-worker trace through all six §7.1 policies and records engine
 //! throughput plus per-policy peak-memory growth into the
-//! `BENCH_<seq>.json` artifact series (schema `rainbowcake-stress/2`;
-//! `/1` artifacts are still readable as perf baselines).
+//! `BENCH_<seq>.json` artifact series (schema `rainbowcake-stress/3`;
+//! `/1` and `/2` artifacts are still readable as perf baselines).
 //!
-//! The trace is routed **once** across the workers with the §8
-//! Locality+Sharing+Load scheduler (routing is policy-independent), and
-//! each policy then executes the per-worker sub-traces through the
-//! thread-pool executor with streaming metrics, so memory stays flat in
-//! trace length instead of accumulating millions of per-invocation
-//! records. Each policy row carries `rss_delta_kb`: how far that
-//! policy's run pushed the process high-water mark (`VmHWM`), i.e. the
-//! peak-memory growth attributable to that policy given the suite's
-//! fixed execution order.
+//! The trace is never materialized: each policy run consumes the
+//! Azure-like workload from its compact per-minute series through
+//! [`run_cluster_streaming`] — the calling thread routes arrivals
+//! online with the §8 Locality+Sharing+Load scheduler into bounded
+//! per-shard queues, and every shard executes its subsequence on its
+//! own OS thread with streaming metrics. Peak memory is bounded by the
+//! channel depth, not the invocation count, and the per-shard reports
+//! reduce deterministically, so the result is byte-identical to the
+//! sequential materialized pipeline (`--identity` asserts exactly that
+//! at full scale; `--smoke` and `tests/cluster_identity.rs` pin it at
+//! CI scale).
 //!
-//! `stress --smoke` runs a small one-hour trace through the identical
-//! pipeline and asserts the parallel per-worker reports are
-//! byte-identical to executing the same sub-traces sequentially, then
-//! (in release builds, when a committed stress artifact exists) asserts
-//! each policy still reaches its per-policy throughput floor — this is
-//! the CI guard; the full run is for the committed artifact.
+//! Flags:
 //!
-//! `stress --policy <name>` (repeatable) restricts the full run to the
-//! named backends for profiling. Filtered runs print their numbers but
-//! skip the artifact write, so the `BENCH_<seq>.json` series stays
-//! full-suite comparable.
+//! * `--shards N` — shard (= worker) count, default 4;
+//! * `--hours H`, `--rate-scale X` — trace volume, default 48 h at 16x;
+//! * `--policy <name>` (repeatable) — restrict the run for profiling;
+//!   filtered runs print numbers but skip the artifact write so the
+//!   `BENCH_<seq>.json` series stays full-suite comparable;
+//! * `--profile` — per-event-kind dispatch breakdown through the
+//!   profiled materialized pipeline (skips the artifact write);
+//! * `--identity` — assert the sharded streaming report is
+//!   byte-identical to the sequential materialized pipeline on the full
+//!   configured trace, then exit;
+//! * `--smoke` — the CI guard: a one-hour trace through every dispatch
+//!   mode and both cluster pipelines with byte-identity asserts, then
+//!   per-policy throughput floors against the committed artifact.
 //!
-//! `stress --profile` additionally runs each selected policy through
-//! the profiled dispatch loop and prints a per-event-kind time/count
-//! breakdown (hand-rolled — one clock read per grouped run of
-//! same-kind events). Profiled full runs skip the artifact write so
-//! timing overhead never contaminates the BENCH series.
+//! Besides wall-clock `events_per_s`, every row records
+//! `calibrated_events_per_s` = completed / max(router CPU s, slowest
+//! shard CPU s): the throughput the pipeline sustains once every shard
+//! thread has a core of its own. On a machine with >= shards cores the
+//! two numbers converge; on the 1-core CI box the wall figure
+//! time-slices all shards onto one core and the calibrated figure is
+//! the honest scaling signal (same convention as the busy-time
+//! calibration in EXPERIMENTS.md).
 
 use std::time::Instant as WallInstant;
 
 use rainbowcake_bench::{make_policy, parallel, BASELINE_NAMES};
+use rainbowcake_core::profile::Catalog;
 use rainbowcake_metrics::json::{escape_str, fmt_f64};
 use rainbowcake_metrics::RunReport;
-use rainbowcake_sim::cluster::{route_trace, LocalitySharingLoad};
+use rainbowcake_sim::cluster::{
+    route_trace, run_cluster, run_cluster_streaming, LocalitySharingLoad, ShardedRun,
+};
 use rainbowcake_sim::{run, run_with_profile, EngineProfile, SimConfig};
-use rainbowcake_trace::azure::{azure_like_trace, AzureConfig};
+use rainbowcake_trace::azure::{azure_like_stream, azure_like_trace, AzureConfig, AzureStream};
 use rainbowcake_trace::Trace;
 use rainbowcake_workloads::paper_catalog;
 
-/// Workers the trace is routed across (each is one engine instance).
-const WORKERS: usize = 4;
+/// Default shard count: each shard is one worker engine on its own OS
+/// thread, fed by the streaming router. Override with `--shards N`.
+const DEFAULT_SHARDS: usize = 4;
 
 /// Peak resident set size of this process in kB (`VmHWM`), or 0 when
 /// `/proc` is unavailable.
@@ -64,17 +77,50 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-/// Routes `trace` across [`WORKERS`] nodes with the §8 scheduler and
-/// returns the per-worker sub-traces.
-fn route(catalog: &rainbowcake_core::profile::Catalog, trace: &Trace) -> Vec<Trace> {
+/// Runs `name` over the streamed workload as a sharded cluster: routing
+/// happens online on the calling thread, every shard runs concurrently,
+/// and nothing proportional to the trace length is ever materialized.
+fn run_policy_sharded(
+    catalog: &Catalog,
+    name: &str,
+    stream: &AzureStream,
+    shards: usize,
+    config: &SimConfig,
+) -> ShardedRun {
     let mut router = LocalitySharingLoad::default();
-    route_trace(catalog, trace, WORKERS, &mut router)
+    let factory = || make_policy(name, catalog);
+    run_cluster_streaming(
+        catalog,
+        &factory,
+        stream.iter(),
+        stream.horizon(),
+        shards,
+        config,
+        &mut router,
+    )
+}
+
+/// The sequential reference for [`run_policy_sharded`]: materialize the
+/// stream, route it up front, run every worker in order on the calling
+/// thread. Memory scales with the trace length — only `--identity`,
+/// `--smoke` and `--profile` take this path.
+fn run_policy_sequential(
+    catalog: &Catalog,
+    name: &str,
+    stream: &AzureStream,
+    shards: usize,
+    config: &SimConfig,
+) -> rainbowcake_sim::cluster::ClusterReport {
+    let trace = Trace::from_arrivals(stream.horizon(), stream.iter().collect());
+    let mut router = LocalitySharingLoad::default();
+    let mut factory = || make_policy(name, catalog);
+    run_cluster(catalog, &mut factory, &trace, shards, config, &mut router)
 }
 
 /// Executes `policy` over every sub-trace, fanned out over `threads`
 /// (0 = sequential on the calling thread).
 fn run_policy(
-    catalog: &rainbowcake_core::profile::Catalog,
+    catalog: &Catalog,
     name: &str,
     subs: &[Trace],
     config: &SimConfig,
@@ -99,7 +145,7 @@ fn run_policy(
 /// Like [`run_policy`], but through the profiled dispatch loop; the
 /// per-worker profiles are merged into one suite-wide breakdown.
 fn run_policy_profiled(
-    catalog: &rainbowcake_core::profile::Catalog,
+    catalog: &Catalog,
     name: &str,
     subs: &[Trace],
     config: &SimConfig,
@@ -163,6 +209,7 @@ fn baseline_events_per_s(dir: &str) -> Option<(String, Vec<(String, f64)>)> {
         };
         if !text.contains("\"schema\":\"rainbowcake-stress/1\"")
             && !text.contains("\"schema\":\"rainbowcake-stress/2\"")
+            && !text.contains("\"schema\":\"rainbowcake-stress/3\"")
         {
             continue;
         }
@@ -198,10 +245,10 @@ const PERF_FLOOR_RATIO: f64 = 0.6;
 /// events/s on a scaled-down trace, so a future change can't silently
 /// re-quadratify the eviction path without tripping CI. All violations
 /// are collected and reported together before failing.
-fn perf_smoke() {
+fn perf_smoke(shards: usize) {
     let dir = std::env::var("PERF_BASELINE_DIR").unwrap_or_else(|_| ".".to_string());
     let Some((path, baseline)) = baseline_events_per_s(&dir) else {
-        println!("perf smoke: no rainbowcake-stress/{{1,2}} artifact found, skipping");
+        println!("perf smoke: no rainbowcake-stress/{{1,2,3}} artifact found, skipping");
         return;
     };
     if cfg!(debug_assertions) {
@@ -211,7 +258,7 @@ fn perf_smoke() {
     let catalog = paper_catalog();
     // Large enough to amortize startup, small enough for CI: ~4% of the
     // full stress trace.
-    let trace = azure_like_trace(
+    let stream = azure_like_stream(
         catalog.len(),
         &AzureConfig {
             hours: 8,
@@ -219,22 +266,18 @@ fn perf_smoke() {
             ..AzureConfig::default()
         },
     );
-    let subs = route(&catalog, &trace);
     let config = SimConfig {
         streaming_metrics: true,
         ..SimConfig::default()
     };
-    let threads = parallel::worker_threads().max(2);
     let mut violations = Vec::new();
     for (name, base_eps) in &baseline {
         // Best of two: absorbs one-off cache/alloc warmup noise.
         let mut best = 0.0f64;
         for _ in 0..2 {
             let t0 = WallInstant::now();
-            let completed: usize = run_policy(&catalog, name, &subs, &config, threads)
-                .iter()
-                .map(|r| r.invocations())
-                .sum();
+            let sharded = run_policy_sharded(&catalog, name, &stream, shards, &config);
+            let completed = sharded.report.completed();
             best = best.max(completed as f64 / t0.elapsed().as_secs_f64());
         }
         let floor = PERF_FLOOR_RATIO * base_eps;
@@ -256,16 +299,16 @@ fn perf_smoke() {
     println!("perf smoke passed against {path}");
 }
 
-fn smoke(profiling: bool) {
+fn smoke(profiling: bool, shards: usize) {
     let catalog = paper_catalog();
-    let trace = azure_like_trace(
-        catalog.len(),
-        &AzureConfig {
-            hours: 1,
-            ..AzureConfig::default()
-        },
-    );
-    let subs = route(&catalog, &trace);
+    let azure = AzureConfig {
+        hours: 1,
+        ..AzureConfig::default()
+    };
+    let stream = azure_like_stream(catalog.len(), &azure);
+    let trace = azure_like_trace(catalog.len(), &azure);
+    let mut router = LocalitySharingLoad::default();
+    let subs = route_trace(&catalog, &trace, DEFAULT_SHARDS, &mut router);
     let config = SimConfig {
         streaming_metrics: true,
         ..SimConfig::default()
@@ -309,16 +352,57 @@ fn smoke(profiling: bool) {
             profiled_json, sequential,
             "{name}: profiled dispatch diverged from unprofiled"
         );
+        // The sharded streaming pipeline must reproduce the sequential
+        // materialized cluster byte-for-byte at every shard count.
+        let mut counts = vec![1, 2, shards];
+        counts.dedup();
+        for &n in &counts {
+            let reference = run_policy_sequential(&catalog, name, &stream, n, &config).to_json();
+            let sharded = run_policy_sharded(&catalog, name, &stream, n, &config)
+                .report
+                .to_json();
+            assert_eq!(
+                sharded, reference,
+                "{name}: {n}-shard streaming cluster diverged from sequential"
+            );
+        }
         println!(
-            "smoke {name}: {completed} invocations; parallel, per-event and profiled \
-             dispatch all byte-identical"
+            "smoke {name}: {completed} invocations; parallel, per-event, profiled \
+             and sharded ({counts:?}) dispatch all byte-identical"
         );
         if profiling {
             print_profile(name, &profile);
         }
     }
-    perf_smoke();
+    perf_smoke(shards);
     println!("stress --smoke passed");
+}
+
+/// Asserts the sharded streaming pipeline reproduces the sequential
+/// materialized pipeline byte-for-byte on the full configured trace.
+fn identity(catalog: &Catalog, selected: &[&str], stream: &AzureStream, shards: usize) {
+    let config = SimConfig {
+        streaming_metrics: true,
+        ..SimConfig::default()
+    };
+    for name in selected {
+        let t0 = WallInstant::now();
+        let sharded = run_policy_sharded(catalog, name, stream, shards, &config)
+            .report
+            .to_json();
+        let sequential = run_policy_sequential(catalog, name, stream, shards, &config).to_json();
+        assert_eq!(
+            sharded, sequential,
+            "{name}: {shards}-shard streaming report diverged from sequential"
+        );
+        println!(
+            "identity {name}: {shards}-shard streaming == sequential \
+             ({} report bytes, {:.1} s)",
+            sharded.len(),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    println!("stress --identity passed");
 }
 
 /// Parses repeatable `--policy <name>` / `--policy=<name>` filters.
@@ -360,19 +444,128 @@ fn policy_filter() -> Vec<&'static str> {
     }
 }
 
+/// Parses `--<flag> <v>` / `--<flag>=<v>` as a number, or `default`.
+///
+/// # Panics
+///
+/// Panics on a malformed or missing value.
+fn numeric_flag<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let val = if arg == flag {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        } else if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+            v.to_string()
+        } else {
+            continue;
+        };
+        return val
+            .parse()
+            .unwrap_or_else(|_| panic!("{flag} got a malformed value {val:?}"));
+    }
+    default
+}
+
+/// One policy's full-run measurements, ready for the artifact row.
+struct PolicyRow {
+    name: &'static str,
+    completed: usize,
+    cold: usize,
+    wall_s: f64,
+    events_per_s: f64,
+    calibrated_events_per_s: f64,
+    route_s: f64,
+    merge_s: f64,
+    shard_cpu_s: Vec<f64>,
+    rss_delta_kb: u64,
+}
+
+impl PolicyRow {
+    fn to_json(&self) -> String {
+        let cpus: Vec<String> = self.shard_cpu_s.iter().map(|&c| fmt_f64(c)).collect();
+        format!(
+            "{{\"name\":{},\"completed\":{},\"cold_starts\":{},\"wall_s\":{},\
+             \"events_per_s\":{},\"calibrated_events_per_s\":{},\"route_s\":{},\
+             \"merge_s\":{},\"shard_cpu_s\":[{}],\"rss_delta_kb\":{}}}",
+            escape_str(self.name),
+            self.completed,
+            self.cold,
+            fmt_f64(self.wall_s),
+            fmt_f64(self.events_per_s),
+            fmt_f64(self.calibrated_events_per_s),
+            fmt_f64(self.route_s),
+            fmt_f64(self.merge_s),
+            cpus.join(","),
+            self.rss_delta_kb,
+        )
+    }
+}
+
+/// Runs one policy through the sharded streaming pipeline and collects
+/// its artifact row. `rss_mark` carries the `VmHWM` high-water mark
+/// between policies so each row's delta is attributable to it.
+fn measure_policy(
+    catalog: &Catalog,
+    name: &'static str,
+    stream: &AzureStream,
+    shards: usize,
+    config: &SimConfig,
+    rss_mark: &mut u64,
+) -> PolicyRow {
+    let t0 = WallInstant::now();
+    let sharded = run_policy_sharded(catalog, name, stream, shards, config);
+    let wall_s = t0.elapsed().as_secs_f64();
+    // The deterministic cross-shard reduction, timed separately so the
+    // artifact shows merge overhead next to engine time.
+    let m0 = WallInstant::now();
+    let merged = sharded.report.merged();
+    let merge_s = m0.elapsed().as_secs_f64() + {
+        let j0 = WallInstant::now();
+        let _ = sharded.report.to_json();
+        j0.elapsed().as_secs_f64()
+    };
+    drop(merged);
+    let rss_now = peak_rss_kb();
+    let rss_delta_kb = rss_now.saturating_sub(*rss_mark);
+    *rss_mark = rss_now;
+    let completed = sharded.report.completed();
+    let cold = sharded.report.cold_starts();
+    // Critical path once every shard thread owns a core: the router or
+    // the slowest shard, whichever dominates.
+    let critical = sharded
+        .shard_cpu_s
+        .iter()
+        .copied()
+        .fold(sharded.route_cpu_s, f64::max);
+    PolicyRow {
+        name,
+        completed,
+        cold,
+        wall_s,
+        events_per_s: completed as f64 / wall_s,
+        calibrated_events_per_s: completed as f64 / critical.max(1e-9),
+        route_s: sharded.route_s,
+        merge_s,
+        shard_cpu_s: sharded.shard_cpu_s,
+        rss_delta_kb,
+    }
+}
+
 fn main() {
     let profiling = std::env::args().any(|a| a == "--profile");
+    let shards: usize = numeric_flag("--shards", DEFAULT_SHARDS);
+    assert!(shards > 0, "--shards must be positive");
     if std::env::args().any(|a| a == "--smoke") {
-        smoke(profiling);
+        smoke(profiling, shards);
         return;
     }
     let selected = policy_filter();
     let filtered = selected.len() != BASELINE_NAMES.len();
 
-    let threads = parallel::worker_threads().max(2);
     let azure = AzureConfig {
-        hours: 48,
-        rate_scale: 16.0,
+        hours: numeric_flag("--hours", 48),
+        rate_scale: numeric_flag("--rate-scale", 16.0),
         ..AzureConfig::default()
     };
     let catalog = paper_catalog();
@@ -380,75 +573,121 @@ fn main() {
         "stress: synthesizing {}h trace at {}x rate ...",
         azure.hours, azure.rate_scale
     );
-    let trace = azure_like_trace(catalog.len(), &azure);
-    let total = trace.len();
+    let stream = azure_like_stream(catalog.len(), &azure);
+    let total = stream.total();
     assert!(
         total >= 1_000_000,
         "stress trace must reach one million invocations (got {total})"
     );
-    println!("stress: {total} invocations, routing across {WORKERS} workers ...");
-    let subs = route(&catalog, &trace);
+    if std::env::args().any(|a| a == "--identity") {
+        println!("stress: {total} invocations, asserting {shards}-shard identity ...");
+        identity(&catalog, &selected, &stream, shards);
+        return;
+    }
+    println!("stress: {total} invocations, streaming across {shards} shards ...");
     let config = SimConfig {
         streaming_metrics: true,
         ..SimConfig::default()
     };
 
-    let mut rows = Vec::new();
-    let mut rss_mark = peak_rss_kb();
-    for name in selected {
-        let t0 = WallInstant::now();
-        let (reports, profile) = if profiling {
+    if profiling {
+        // The profiled dispatch loop runs through the materialized
+        // pipeline (it is an investigation tool, never the artifact).
+        let trace = Trace::from_arrivals(stream.horizon(), stream.iter().collect());
+        let mut router = LocalitySharingLoad::default();
+        let subs = route_trace(&catalog, &trace, shards, &mut router);
+        let threads = parallel::worker_threads().max(2);
+        for name in selected {
+            let t0 = WallInstant::now();
             let (reports, profile) = run_policy_profiled(&catalog, name, &subs, &config, threads);
-            (reports, Some(profile))
-        } else {
-            (run_policy(&catalog, name, &subs, &config, threads), None)
-        };
-        let wall = t0.elapsed().as_secs_f64();
-        // VmHWM is monotone, so the per-policy delta is exactly how far
-        // this policy pushed the process peak past everything before it.
-        let rss_now = peak_rss_kb();
-        let rss_delta = rss_now.saturating_sub(rss_mark);
-        rss_mark = rss_now;
-        let completed: usize = reports.iter().map(|r| r.invocations()).sum();
-        let cold: usize = reports.iter().map(|r| r.cold_starts()).sum();
-        let eps = completed as f64 / wall;
-        assert!(
-            completed >= 1_000_000,
-            "{name} completed only {completed} invocations"
-        );
-        println!(
-            "  {name}: {completed} invocations in {wall:.2} s ({eps:.0} inv/s), \
-             {cold} cold starts, +{rss_delta} kB peak RSS"
-        );
-        if let Some(profile) = &profile {
-            print_profile(name, profile);
+            let wall = t0.elapsed().as_secs_f64();
+            let completed: usize = reports.iter().map(|r| r.invocations()).sum();
+            println!(
+                "  {name}: {completed} invocations in {wall:.2} s ({:.0} inv/s)",
+                completed as f64 / wall
+            );
+            print_profile(name, &profile);
         }
-        rows.push(format!(
-            "{{\"name\":{},\"completed\":{completed},\"cold_starts\":{cold},\
-             \"wall_s\":{},\"events_per_s\":{},\"rss_delta_kb\":{rss_delta}}}",
-            escape_str(name),
-            fmt_f64(wall),
-            fmt_f64(eps),
-        ));
-    }
-
-    if filtered || profiling {
-        // A partial or profiled run is for investigation only: writing
-        // it out would break cross-artifact comparability of the BENCH
-        // series (profiling adds timing overhead to every dispatch).
-        println!("policy filter or profiling active: skipping artifact write");
+        println!("profiling active: skipping artifact write");
         return;
     }
 
+    let mut rows = Vec::new();
+    let mut rss_mark = peak_rss_kb();
+    for name in &selected {
+        let row = measure_policy(&catalog, name, &stream, shards, &config, &mut rss_mark);
+        assert!(
+            row.completed >= 1_000_000,
+            "{name} completed only {} invocations",
+            row.completed
+        );
+        println!(
+            "  {name}: {} invocations in {:.2} s ({:.0} inv/s wall, {:.0} inv/s \
+             calibrated), {} cold starts, route {:.2} s, merge {:.3} s, +{} kB peak RSS",
+            row.completed,
+            row.wall_s,
+            row.events_per_s,
+            row.calibrated_events_per_s,
+            row.cold,
+            row.route_s,
+            row.merge_s,
+            row.rss_delta_kb
+        );
+        rows.push(row);
+    }
+
+    if filtered {
+        // A partial run is for investigation only: writing it out would
+        // break cross-artifact comparability of the BENCH series.
+        println!("policy filter active: skipping artifact write");
+        return;
+    }
+
+    // Shard-scaling evidence: re-run RainbowCake single-sharded so the
+    // artifact carries an aggregate-throughput comparison on identical
+    // input. Wall events/s only scales on a machine with enough cores;
+    // the calibrated figures compare critical-path compute directly.
+    let scaling = if shards > 1 {
+        let mut mark = peak_rss_kb();
+        let one = measure_policy(&catalog, "RainbowCake", &stream, 1, &config, &mut mark);
+        let many = rows
+            .iter()
+            .find(|r| r.name == "RainbowCake")
+            .expect("full suite includes RainbowCake");
+        println!(
+            "  scaling RainbowCake: 1 shard {:.0} inv/s calibrated, {shards} shards \
+             {:.0} inv/s calibrated ({:.2}x)",
+            one.calibrated_events_per_s,
+            many.calibrated_events_per_s,
+            many.calibrated_events_per_s / one.calibrated_events_per_s
+        );
+        format!(
+            ",\"scaling\":{{\"policy\":\"RainbowCake\",\"points\":[{},{}]}}",
+            format_args!(
+                "{{\"shards\":1,\"events_per_s\":{},\"calibrated_events_per_s\":{}}}",
+                fmt_f64(one.events_per_s),
+                fmt_f64(one.calibrated_events_per_s)
+            ),
+            format_args!(
+                "{{\"shards\":{shards},\"events_per_s\":{},\"calibrated_events_per_s\":{}}}",
+                fmt_f64(many.events_per_s),
+                fmt_f64(many.calibrated_events_per_s)
+            ),
+        )
+    } else {
+        String::new()
+    };
+
+    let row_json: Vec<String> = rows.iter().map(|r| r.to_json()).collect();
     let json = format!(
-        "{{\"schema\":\"rainbowcake-stress/2\",\"threads\":{threads},\
-         \"workers\":{WORKERS},\"hours\":{},\"rate_scale\":{},\
+        "{{\"schema\":\"rainbowcake-stress/3\",\"shards\":{shards},\
+         \"hours\":{},\"rate_scale\":{},\
          \"invocations\":{total},\"router\":\"Locality+Sharing+Load\",\
-         \"peak_rss_kb\":{},\"policies\":[{}]}}\n",
+         \"peak_rss_kb\":{}{scaling},\"policies\":[{}]}}\n",
         azure.hours,
         fmt_f64(azure.rate_scale),
         peak_rss_kb(),
-        rows.join(","),
+        row_json.join(","),
     );
 
     let dir = std::env::var("PERF_BASELINE_DIR").unwrap_or_else(|_| ".".to_string());

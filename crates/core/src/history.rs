@@ -64,11 +64,18 @@ impl ShareScope {
 /// Panics in debug builds if `p` is outside `[0, 1)`.
 pub fn iat_quantile(lambda_per_sec: f64, p: f64) -> Micros {
     debug_assert!((0.0..1.0).contains(&p), "quantile must be in [0, 1)");
+    iat_with_numerator(lambda_per_sec, -(1.0 - p).ln())
+}
+
+/// [`iat_quantile`] with the `-ln(1 − p)` numerator precomputed — the
+/// per-event form: a policy with a fixed quantile hoists the logarithm
+/// out of its arrival path and this divides. Bit-identical to
+/// [`iat_quantile`] for `neg_ln_survival = -(1 - p).ln()`.
+pub fn iat_with_numerator(lambda_per_sec: f64, neg_ln_survival: f64) -> Micros {
     if lambda_per_sec <= 0.0 || !lambda_per_sec.is_finite() {
         return Micros::MAX;
     }
-    let secs = -(1.0 - p).ln() / lambda_per_sec;
-    Micros::from_secs_f64(secs)
+    Micros::from_secs_f64(neg_ln_survival / lambda_per_sec)
 }
 
 /// A bounded window of `f64` samples with an O(1) running mean.

@@ -3,14 +3,14 @@
 
 use crate::cost::CostModel;
 use crate::error::ConfigError;
-use crate::history::{HistoryRecorder, ShareScope};
+use crate::history::{iat_with_numerator, HistoryRecorder, ShareScope};
 use crate::mem::MemMb;
 use crate::policy::{
     lru_victims, ArrivalResponse, ContainerView, Policy, PolicyCtx, ReuseClass, ReuseScope,
     TimeoutDecision,
 };
-use crate::profile::Catalog;
-use crate::time::Micros;
+use crate::profile::{Catalog, FunctionProfile};
+use crate::time::{Instant, Micros};
 use crate::types::{ContainerId, FunctionId, Layer};
 
 /// Eviction order used under memory pressure.
@@ -105,6 +105,10 @@ pub struct RainbowCake {
     config: RainbowConfig,
     cost: CostModel,
     recorder: HistoryRecorder,
+    /// `-ln(1 - p)` for the configured quantile: the numerator of Eq. 4,
+    /// hoisted out of the per-arrival path (the quantile is fixed for a
+    /// run, so recomputing the logarithm per event buys nothing).
+    iat_numerator: f64,
     /// First catalog function per language (`Language::index()`):
     /// anchors downgraded containers without scanning the catalog.
     anchor_by_lang: [Option<FunctionId>; 3],
@@ -153,6 +157,7 @@ impl RainbowCake {
             })
             .collect();
         Ok(RainbowCake {
+            iat_numerator: -(1.0 - config.quantile).ln(),
             config,
             cost,
             recorder,
@@ -184,9 +189,9 @@ impl RainbowCake {
 
     /// Eq. 5/6: the β idle-time bound for a container of `f` at `layer`,
     /// from observed averages when available, falling back to the static
-    /// profile.
-    fn beta(&self, ctx: &PolicyCtx<'_>, f: FunctionId, layer: Layer) -> Micros {
-        let profile = ctx.profile(f);
+    /// profile. Takes the already-fetched profile so the idle/timeout
+    /// paths resolve `f` in the catalog exactly once.
+    fn beta(&self, profile: &FunctionProfile, f: FunctionId, layer: Layer) -> Micros {
         let t = self
             .recorder
             .avg_startup(f, layer)
@@ -200,7 +205,7 @@ impl RainbowCake {
 
     /// Eq. 7: the keep-alive TTL for a container of `f` sitting at
     /// `layer`.
-    fn ttl(&self, ctx: &PolicyCtx<'_>, f: FunctionId, layer: Layer) -> Micros {
+    fn ttl(&self, profile: &FunctionProfile, f: FunctionId, layer: Layer, now: Instant) -> Micros {
         match &self.config.variant {
             RainbowVariant::NoSharing {
                 user_ttl,
@@ -215,12 +220,9 @@ impl RainbowCake {
             }
             RainbowVariant::Full | RainbowVariant::NoLayers => {}
         }
-        let language = ctx.profile(f).language;
-        let scope = ShareScope::for_layer(layer, f, language);
-        let iat = self
-            .recorder
-            .estimate_iat(scope, self.config.quantile, ctx.now);
-        iat.min(self.beta(ctx, f, layer))
+        let scope = ShareScope::for_layer(layer, f, profile.language);
+        let iat = iat_with_numerator(self.recorder.rate(scope, now), self.iat_numerator);
+        iat.min(self.beta(profile, f, layer))
     }
 
     /// The function whose profile drives a container's cost estimates:
@@ -271,10 +273,13 @@ impl Policy for RainbowCake {
 
     fn on_arrival(&mut self, ctx: &PolicyCtx<'_>, f: FunctionId) -> ArrivalResponse {
         self.recorder.record_arrival(f, ctx.now);
-        // Alg. 1: schedule a pre-warm check one predicted IAT from now.
-        let iat =
-            self.recorder
-                .estimate_iat(ShareScope::Function(f), self.config.quantile, ctx.now);
+        // Alg. 1: schedule a pre-warm check one predicted IAT from now
+        // (Eq. 4 with its logarithm numerator precomputed — this runs
+        // once per arrival).
+        let iat = iat_with_numerator(
+            self.recorder.rate(ShareScope::Function(f), ctx.now),
+            self.iat_numerator,
+        );
         if iat == Micros::MAX {
             // No fitted rate yet: nothing to schedule.
             return ArrivalResponse::none();
@@ -323,14 +328,11 @@ impl Policy for RainbowCake {
 
     fn on_idle(&mut self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> Micros {
         let f = self.anchor_function(c);
+        let profile = ctx.profile(f);
         // Feed the Eq. 5 windows with what we actually observed.
-        self.recorder.record_observation(
-            f,
-            c.layer,
-            ctx.profile(f).stages.install(c.layer),
-            c.memory,
-        );
-        self.ttl(ctx, f, c.layer)
+        self.recorder
+            .record_observation(f, c.layer, profile.stages.install(c.layer), c.memory);
+        self.ttl(profile, f, c.layer, ctx.now)
     }
 
     fn on_timeout(&mut self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> TimeoutDecision {
@@ -342,7 +344,7 @@ impl Policy for RainbowCake {
             Some(next) => {
                 let f = self.anchor_function(c);
                 TimeoutDecision::Downgrade {
-                    ttl: self.ttl(ctx, f, next),
+                    ttl: self.ttl(ctx.profile(f), f, next, ctx.now),
                 }
             }
         }

@@ -128,6 +128,20 @@ impl LogHistogram {
         self.count == 0
     }
 
+    /// Merges another histogram into this one: the result is exactly
+    /// the histogram that would have recorded both sample streams (bins
+    /// are elementwise sums; min/max combine exactly). The canonical
+    /// cross-shard metric reduction — associative and commutative, so
+    /// folding shard histograms in worker-index order is deterministic.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, &o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Estimated percentile (`p` in `[0, 100]`); `None` when empty.
     /// `p = 0` and `p = 100` return the exact minimum and maximum.
     pub fn percentile(&self, p: f64) -> Option<f64> {
@@ -245,6 +259,40 @@ mod tests {
             assert!(v >= last, "p{p} regressed: {v} < {last}");
             last = v;
         }
+    }
+
+    #[test]
+    fn merge_equals_recording_both_streams() {
+        let (mut a, mut b, mut both) = (
+            LogHistogram::new(),
+            LogHistogram::new(),
+            LogHistogram::new(),
+        );
+        for i in 0..500 {
+            let v = 1e-3 * (1.013f64).powi(i % 700);
+            a.record(v);
+            both.record(v);
+        }
+        for i in 0..300 {
+            let v = 0.5 + i as f64 * 0.01;
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), both.len());
+        for p in [0.0, 10.0, 50.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), both.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = LogHistogram::new();
+        a.record(2.0);
+        let before = a.percentile(50.0);
+        a.merge(&LogHistogram::new());
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.percentile(50.0), before);
     }
 
     #[test]

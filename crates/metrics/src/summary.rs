@@ -62,6 +62,27 @@ impl StreamingSummary {
     pub fn total_e2e(&self) -> Micros {
         self.total_queue + self.total_startup + self.total_exec
     }
+
+    /// Merges another summary into this one: counts and totals add,
+    /// histograms merge bin-wise — exactly the summary that would have
+    /// recorded both invocation streams. Associative and commutative,
+    /// so folding shard summaries in worker-index order is
+    /// deterministic.
+    pub fn merge(&mut self, other: &StreamingSummary) {
+        self.count += other.count;
+        self.total_queue += other.total_queue;
+        self.total_startup += other.total_startup;
+        self.total_exec += other.total_exec;
+        for (c, &o) in self
+            .start_type_counts
+            .iter_mut()
+            .zip(&other.start_type_counts)
+        {
+            *c += o;
+        }
+        self.startup_hist.merge(&other.startup_hist);
+        self.e2e_hist.merge(&other.e2e_hist);
+    }
 }
 
 /// Collects measurements during a run; turned into a [`RunReport`] at
@@ -507,6 +528,41 @@ mod tests {
                 (sv - ev).abs() <= ev * 0.03 + 1e-6,
                 "p{p}: exact {ev}, streaming {sv}"
             );
+        }
+    }
+
+    #[test]
+    fn streaming_merge_equals_recording_both_streams() {
+        let mut shard_a = StreamingSummary::new();
+        let mut shard_b = StreamingSummary::new();
+        let mut whole = StreamingSummary::new();
+        for i in 0..200 {
+            let r = rec(
+                (i % 5) as u32,
+                i as u64,
+                5 + (i as u64 * 17) % 900,
+                150,
+                [StartType::Cold, StartType::WarmUser, StartType::Packed][i % 3],
+            );
+            if i % 2 == 0 {
+                shard_a.record(&r);
+            } else {
+                shard_b.record(&r);
+            }
+            whole.record(&r);
+        }
+        shard_a.merge(&shard_b);
+        assert_eq!(shard_a.count, whole.count);
+        assert_eq!(shard_a.total_queue, whole.total_queue);
+        assert_eq!(shard_a.total_startup, whole.total_startup);
+        assert_eq!(shard_a.total_exec, whole.total_exec);
+        assert_eq!(shard_a.start_type_counts, whole.start_type_counts);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(
+                shard_a.startup_hist.percentile(p),
+                whole.startup_hist.percentile(p)
+            );
+            assert_eq!(shard_a.e2e_hist.percentile(p), whole.e2e_hist.percentile(p));
         }
     }
 

@@ -77,6 +77,24 @@ impl WasteTracker {
         }
     }
 
+    /// Merges another tracker into this one: totals add and minute
+    /// buckets add elementwise (the shorter series is zero-extended) —
+    /// exactly the tracker that would have recorded both interval
+    /// streams. Associative and commutative, so folding shard trackers
+    /// in worker-index order is deterministic.
+    pub fn merge(&mut self, other: &WasteTracker) {
+        self.hit_total += other.hit_total;
+        self.miss_total += other.miss_total;
+        if self.minutes.len() < other.minutes.len() {
+            self.minutes
+                .resize(other.minutes.len(), (GbSeconds::ZERO, GbSeconds::ZERO));
+        }
+        for (m, &(h, miss)) in self.minutes.iter_mut().zip(&other.minutes) {
+            m.0 += h;
+            m.1 += miss;
+        }
+    }
+
     /// Total waste that was eventually hit.
     pub fn hit_total(&self) -> GbSeconds {
         self.hit_total
@@ -151,6 +169,23 @@ mod tests {
         assert!((per_min[2].1.value() - 15.0).abs() < 1e-9);
         let bucket_sum: f64 = per_min.iter().map(|(h, m)| h.value() + m.value()).sum();
         assert!((bucket_sum - w.total().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_recording_both_streams() {
+        let (mut a, mut b, mut both) = (
+            WasteTracker::new(),
+            WasteTracker::new(),
+            WasteTracker::new(),
+        );
+        a.record_interval(MemMb::from_gb(1), t(30), t(135), IdleOutcome::Miss);
+        both.record_interval(MemMb::from_gb(1), t(30), t(135), IdleOutcome::Miss);
+        b.record_interval(MemMb::from_gb(2), t(0), t(10), IdleOutcome::Hit);
+        both.record_interval(MemMb::from_gb(2), t(0), t(10), IdleOutcome::Hit);
+        b.record_interval(MemMb::new(512), t(200), t(260), IdleOutcome::Miss);
+        both.record_interval(MemMb::new(512), t(200), t(260), IdleOutcome::Miss);
+        a.merge(&b);
+        assert_eq!(a, both);
     }
 
     #[test]

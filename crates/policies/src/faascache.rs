@@ -83,6 +83,21 @@ impl Policy for FaasCache {
         // now stale (its priority no longer matches the map) and will be
         // discarded when popped.
         self.heap.push(Reverse((p.to_bits(), c.id)));
+        // Stale entries are otherwise reaped only at eviction time, so
+        // under a roomy memory cap the heap would grow with invocation
+        // count, not pool size. Once stale entries outnumber live ones,
+        // rebuild from the map: pop order is a function of the live
+        // (priority, id) multiset alone — stale pops are no-ops and a
+        // duplicate live entry can never re-select a taken victim — so
+        // compaction is behaviourally invisible. Amortized O(1): each
+        // rebuild consumes at least `live + 64` pushes of slack.
+        if self.heap.len() > 2 * self.priorities.len() + 64 {
+            self.heap = self
+                .priorities
+                .iter()
+                .map(|(&id, &p)| Reverse((p.to_bits(), id)))
+                .collect();
+        }
         Micros::MAX
     }
 

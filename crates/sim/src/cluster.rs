@@ -16,16 +16,31 @@
 //! engine, and the reports are aggregated. Routing state is approximate
 //! by design — a real cluster's router also works on stale summaries
 //! rather than the workers' exact pool contents.
+//!
+//! Execution comes in two shapes with **byte-identical** results:
+//!
+//! * [`run_cluster`] — the sequential reference: materialize each
+//!   worker's sub-trace, run the workers one after another.
+//! * [`run_cluster_streaming`] — the sharded pipeline: the caller
+//!   streams arrivals, the router feeds bounded per-shard queues, and
+//!   each worker engine runs on its own OS thread. Peak memory is
+//!   bounded by the channel depth instead of the trace length, and the
+//!   per-worker reports merge in worker-index order, so the result is
+//!   exactly the sequential report.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::thread;
 
 use rainbowcake_core::policy::Policy;
 use rainbowcake_core::profile::Catalog;
 use rainbowcake_core::time::{Instant, Micros};
 use rainbowcake_core::types::{FunctionId, Language};
-use rainbowcake_metrics::RunReport;
+use rainbowcake_metrics::{RunReport, StreamingSummary, WasteTracker};
 use rainbowcake_trace::{Arrival, Trace};
 
 use crate::config::SimConfig;
-use crate::engine::run;
+use crate::engine::{run, run_streaming};
 
 /// Identifies a worker node in the cluster.
 pub type WorkerId = usize;
@@ -37,8 +52,10 @@ pub struct WorkerView {
     last_run: Vec<Option<Instant>>,
     /// Last time each language ran on this worker.
     last_lang: [Option<Instant>; 3],
-    /// Arrivals routed to this worker within the sliding load window.
-    recent: Vec<Instant>,
+    /// Arrivals routed to this worker within the sliding load window,
+    /// in routing order. Routing time is monotone, so this deque stays
+    /// sorted ascending and expires from the front.
+    recent: VecDeque<Instant>,
 }
 
 impl WorkerView {
@@ -46,7 +63,7 @@ impl WorkerView {
         WorkerView {
             last_run: vec![None; functions],
             last_lang: [None; 3],
-            recent: Vec::new(),
+            recent: VecDeque::new(),
         }
     }
 
@@ -67,18 +84,21 @@ impl WorkerView {
     }
 
     /// Number of arrivals routed here within the last minute (the load
-    /// signal).
+    /// signal). `recent` is sorted, so this is a binary search, not a
+    /// scan.
     pub fn load(&self, now: Instant) -> usize {
         let cutoff = now - Micros::from_mins(1);
-        self.recent.iter().filter(|&&t| t >= cutoff).count()
+        self.recent.len() - self.recent.partition_point(|&t| t < cutoff)
     }
 
     fn record(&mut self, f: FunctionId, language: Language, now: Instant) {
         self.last_run[f.index()] = Some(now);
         self.last_lang[lang_idx(language)] = Some(now);
         let cutoff = now - Micros::from_mins(1);
-        self.recent.retain(|&t| t >= cutoff);
-        self.recent.push(now);
+        while self.recent.front().is_some_and(|&t| t < cutoff) {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(now);
     }
 }
 
@@ -243,9 +263,10 @@ pub struct ClusterReport {
 }
 
 impl ClusterReport {
-    /// Total completed invocations.
+    /// Total completed invocations (exact in both record-keeping and
+    /// streaming-metrics runs).
     pub fn completed(&self) -> usize {
-        self.workers.iter().map(|w| w.records.len()).sum()
+        self.workers.iter().map(|w| w.invocations()).sum()
     }
 
     /// Cluster-wide cold starts.
@@ -268,6 +289,248 @@ impl ClusterReport {
         let max = self.assigned.iter().copied().max().unwrap_or(0) as f64;
         let min = self.assigned.iter().copied().min().unwrap_or(0).max(1) as f64;
         max / min
+    }
+
+    /// Canonical deterministic reduction of the per-worker reports into
+    /// one cluster-wide [`RunReport`]: records concatenate, waste
+    /// trackers and streaming summaries merge — always folded in
+    /// worker-index order, so the merged report is a pure function of
+    /// the per-worker reports regardless of which shard finished first.
+    pub fn merged(&self) -> RunReport {
+        let mut records = Vec::with_capacity(self.workers.iter().map(|w| w.records.len()).sum());
+        let mut waste = WasteTracker::new();
+        let mut streaming: Option<StreamingSummary> = None;
+        for w in &self.workers {
+            records.extend(w.records.iter().copied());
+            waste.merge(&w.waste);
+            if let Some(s) = &w.streaming {
+                match &mut streaming {
+                    Some(acc) => acc.merge(s),
+                    None => streaming = Some(s.clone()),
+                }
+            }
+        }
+        RunReport {
+            policy: self
+                .workers
+                .first()
+                .map(|w| w.policy.clone())
+                .unwrap_or_default(),
+            records,
+            waste,
+            streaming,
+        }
+    }
+
+    /// Encodes the full cluster result — router, assignment counts, and
+    /// every per-worker report — as one line of deterministic JSON.
+    /// Two cluster runs serialize identically iff they made the same
+    /// routing decisions and every worker measured the same run, so
+    /// comparing `to_json` outputs is an exact equality check between
+    /// the sharded and sequential pipelines.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.workers.len() * 256);
+        out.push_str("{\"router\":");
+        out.push_str(&rainbowcake_metrics::json::escape_str(self.router));
+        out.push_str(",\"assigned\":[");
+        for (i, a) in self.assigned.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&a.to_string());
+        }
+        out.push_str("],\"workers\":[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&w.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Arrivals per cross-thread channel message in the sharded pipeline:
+/// large enough to amortize channel synchronization, small enough that
+/// in-flight chunks stay cache-friendly.
+const SHARD_CHUNK: usize = 4096;
+/// Bounded channel depth, in chunks. Caps the router's lead over a slow
+/// shard so peak RSS stays flat no matter how long the trace is:
+/// at most `SHARD_CHUNK * (SHARD_CHANNEL_DEPTH + 2)` arrivals are ever
+/// buffered per shard.
+const SHARD_CHANNEL_DEPTH: usize = 4;
+
+/// CPU seconds (user + system) consumed so far by the *calling thread*,
+/// read from `/proc/thread-self/stat`. Returns `None` off Linux or when
+/// `/proc` is unavailable; callers fall back to wall-clock then.
+///
+/// The two tick counts follow the comm field, whose parenthesized value
+/// may itself contain spaces, so parsing anchors on the last `')'`.
+/// Ticks are `USER_HZ` (100 on every mainstream Linux configuration —
+/// the kernel ABI fixes the /proc unit independently of the scheduler
+/// tick).
+fn thread_cpu_s() -> Option<f64> {
+    const USER_HZ: f64 = 100.0;
+    let stat = std::fs::read_to_string("/proc/thread-self/stat").ok()?;
+    let rest = &stat[stat.rfind(')')? + 1..];
+    let mut fields = rest.split_ascii_whitespace();
+    // comm and pid are behind us; state is field 3, utime/stime are
+    // fields 14 and 15 of the full line, i.e. 12 and 13 of `rest`.
+    let utime: f64 = fields.nth(11)?.parse().ok()?;
+    let stime: f64 = fields.next()?.parse().ok()?;
+    Some((utime + stime) / USER_HZ)
+}
+
+/// CPU seconds the calling thread spent between `start` (a prior
+/// [`thread_cpu_s`] reading) and now, or `None` when unavailable.
+fn thread_cpu_since(start: Option<f64>) -> Option<f64> {
+    Some(thread_cpu_s()? - start?)
+}
+
+/// Result of [`run_cluster_streaming`]: the deterministic report plus
+/// wall-clock observability of the pipeline (which carries no
+/// simulation state and is excluded from [`ClusterReport::to_json`]).
+#[derive(Debug)]
+pub struct ShardedRun {
+    /// The cluster result — byte-identical to the sequential pipeline.
+    pub report: ClusterReport,
+    /// Wall-clock seconds each shard thread spent inside its engine
+    /// (includes time blocked waiting on the router's feed).
+    pub shard_busy_s: Vec<f64>,
+    /// CPU seconds (user + system) each shard thread consumed —
+    /// excludes time blocked on the feed or descheduled, so it measures
+    /// the shard's actual compute even when shards outnumber cores.
+    /// Falls back to the wall-clock figure when thread CPU accounting
+    /// is unavailable (non-Linux).
+    pub shard_cpu_s: Vec<f64>,
+    /// Wall-clock seconds the router thread spent consuming the arrival
+    /// stream, routing, and feeding shard queues (includes time blocked
+    /// on full channels).
+    pub route_s: f64,
+    /// CPU seconds the router thread consumed (same accounting as
+    /// [`ShardedRun::shard_cpu_s`]).
+    pub route_cpu_s: f64,
+}
+
+/// Runs a cluster as a streaming sharded pipeline: the calling thread
+/// routes arrivals online (exactly like [`route_trace`]) and feeds each
+/// worker's subsequence over a bounded channel to a dedicated OS thread
+/// running that worker's engine via [`run_streaming`].
+///
+/// Compared to [`run_cluster`] this (a) executes the workers
+/// concurrently and (b) never materializes per-worker arrival vectors —
+/// peak memory is bounded by the channel depth, not the trace length —
+/// while producing a [`ClusterReport`] that is **byte-identical** to
+/// the sequential pipeline on the same arrival stream:
+///
+/// * the router sees arrivals in the same order with the same views, so
+///   the assignment is identical;
+/// * each worker receives its assigned subsequence in sorted order, and
+///   [`run_streaming`] on that stream is byte-identical to [`run`] on
+///   the materialized sub-trace;
+/// * per-worker reports are collected by worker index, not completion
+///   order, so the report (and any [`ClusterReport::merged`] reduction)
+///   is deterministic.
+///
+/// `arrivals` must be sorted by `(time, function)` — the order both
+/// [`Trace`] iteration and the streaming synthesizers produce — and is
+/// clipped to `horizon` like [`Trace::from_arrivals`]. `make_policy` is
+/// called once per shard *on the shard's thread*; it must produce
+/// identical policies regardless of call order (policy construction
+/// from a shared catalog is pure in every §7.1 baseline).
+///
+/// # Panics
+///
+/// Panics if `workers` is zero, the router returns an out-of-range
+/// worker, or a shard thread panics.
+pub fn run_cluster_streaming(
+    catalog: &Catalog,
+    make_policy: &(dyn Fn() -> Box<dyn Policy> + Sync),
+    arrivals: impl Iterator<Item = Arrival>,
+    horizon: Micros,
+    workers: usize,
+    per_worker: &SimConfig,
+    router: &mut dyn Router,
+) -> ShardedRun {
+    assert!(workers > 0, "cluster needs at least one worker");
+    let mut views: Vec<WorkerView> = (0..workers)
+        .map(|_| WorkerView::new(catalog.len()))
+        .collect();
+    let mut assigned = vec![0usize; workers];
+    let mut reports = Vec::with_capacity(workers);
+    let mut shard_busy_s = vec![0.0f64; workers];
+    let mut shard_cpu_s = vec![0.0f64; workers];
+    let mut route_s = 0.0f64;
+    let mut route_cpu_s = 0.0f64;
+    thread::scope(|s| {
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::sync_channel::<Vec<Arrival>>(SHARD_CHANNEL_DEPTH);
+            senders.push(tx);
+            handles.push(s.spawn(move || {
+                let mut policy = make_policy();
+                let started = std::time::Instant::now();
+                let cpu_started = thread_cpu_s();
+                let report = run_streaming(
+                    catalog,
+                    policy.as_mut(),
+                    rx.into_iter().flatten(),
+                    horizon,
+                    per_worker,
+                );
+                let busy = started.elapsed().as_secs_f64();
+                let cpu = thread_cpu_since(cpu_started).unwrap_or(busy);
+                (report, busy, cpu)
+            }));
+        }
+        let route_started = std::time::Instant::now();
+        let route_cpu_started = thread_cpu_s();
+        let mut chunks: Vec<Vec<Arrival>> = (0..workers)
+            .map(|_| Vec::with_capacity(SHARD_CHUNK))
+            .collect();
+        let horizon_at = Instant::ZERO + horizon;
+        for a in arrivals.take_while(|a| a.time <= horizon_at) {
+            let language = catalog.profile(a.function).language;
+            let w = router.route(a.time, a.function, language, &views);
+            assert!(w < workers, "router returned an out-of-range worker");
+            views[w].record(a.function, language, a.time);
+            assigned[w] += 1;
+            chunks[w].push(a);
+            if chunks[w].len() >= SHARD_CHUNK {
+                let full = std::mem::replace(&mut chunks[w], Vec::with_capacity(SHARD_CHUNK));
+                senders[w]
+                    .send(full)
+                    .expect("shard thread hung up mid-stream");
+            }
+        }
+        for (chunk, tx) in chunks.into_iter().zip(&senders) {
+            if !chunk.is_empty() {
+                tx.send(chunk).expect("shard thread hung up mid-stream");
+            }
+        }
+        // Close every channel so the shard engines see end-of-stream.
+        drop(senders);
+        route_s = route_started.elapsed().as_secs_f64();
+        route_cpu_s = thread_cpu_since(route_cpu_started).unwrap_or(route_s);
+        for (w, handle) in handles.into_iter().enumerate() {
+            let (report, busy, cpu) = handle.join().expect("shard thread panicked");
+            reports.push(report);
+            shard_busy_s[w] = busy;
+            shard_cpu_s[w] = cpu;
+        }
+    });
+    ShardedRun {
+        report: ClusterReport {
+            router: router.name(),
+            workers: reports,
+            assigned,
+        },
+        shard_busy_s,
+        shard_cpu_s,
+        route_s,
+        route_cpu_s,
     }
 }
 
@@ -496,6 +759,81 @@ mod tests {
         assert!(!v.warm_for(f, t2, Micros::from_mins(5)));
         assert_eq!(v.load(t0 + Micros::from_secs(30)), 1);
         assert_eq!(v.load(t2), 0);
+    }
+
+    /// At every shard count, the threaded streaming pipeline must be an
+    /// exact drop-in for the sequential reference: same routing, same
+    /// per-worker runs, same serialized bytes.
+    #[test]
+    fn sharded_streaming_matches_sequential_at_every_shard_count() {
+        let c = catalog();
+        let t = trace(&c);
+        let factory =
+            || Box::new(RainbowCake::with_defaults(&c).expect("valid")) as Box<dyn Policy>;
+        for shards in [1usize, 2, 4, 8] {
+            for streaming_metrics in [false, true] {
+                let config = SimConfig {
+                    streaming_metrics,
+                    ..SimConfig::deterministic(1)
+                };
+                let mut fac = policy_factory(&c);
+                let seq = run_cluster(
+                    &c,
+                    &mut fac,
+                    &t,
+                    shards,
+                    &config,
+                    &mut LocalitySharingLoad::default(),
+                );
+                let sharded = run_cluster_streaming(
+                    &c,
+                    &factory,
+                    t.iter().copied(),
+                    t.horizon(),
+                    shards,
+                    &config,
+                    &mut LocalitySharingLoad::default(),
+                );
+                assert_eq!(sharded.report.assigned, seq.assigned, "{shards} shards");
+                assert_eq!(
+                    sharded.report.to_json(),
+                    seq.to_json(),
+                    "{shards} shards (streaming_metrics: {streaming_metrics})"
+                );
+                assert_eq!(sharded.shard_busy_s.len(), shards);
+            }
+        }
+    }
+
+    /// The worker-order merge must reproduce the cluster-level
+    /// aggregates the per-worker accessors report.
+    #[test]
+    fn merged_report_reduces_worker_aggregates() {
+        let c = catalog();
+        let t = trace(&c);
+        let factory =
+            || Box::new(RainbowCake::with_defaults(&c).expect("valid")) as Box<dyn Policy>;
+        let config = SimConfig {
+            streaming_metrics: true,
+            ..SimConfig::deterministic(1)
+        };
+        let sharded = run_cluster_streaming(
+            &c,
+            &factory,
+            t.iter().copied(),
+            t.horizon(),
+            4,
+            &config,
+            &mut RoundRobin::new(),
+        );
+        let report = sharded.report;
+        let merged = report.merged();
+        assert_eq!(merged.invocations(), report.completed());
+        assert_eq!(merged.cold_starts(), report.cold_starts());
+        assert_eq!(merged.total_startup(), report.total_startup());
+        assert!((merged.total_waste().value() - report.total_waste()).abs() < 1e-9);
+        // Merging is worker-index ordered, hence reproducible.
+        assert_eq!(merged.to_json(), report.merged().to_json());
     }
 
     #[test]

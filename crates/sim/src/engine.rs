@@ -25,7 +25,7 @@ use rainbowcake_core::time::{Instant, Micros};
 use rainbowcake_core::types::{ContainerId, FunctionId, Layer};
 use rainbowcake_metrics::{IdleOutcome, InvocationRecord, MetricsCollector, RunReport, StartType};
 use rainbowcake_trace::samplers::{lognormal_from_params, lognormal_params};
-use rainbowcake_trace::Trace;
+use rainbowcake_trace::{Arrival, Trace};
 
 use crate::concurrency::transition_overhead;
 use crate::config::{DispatchMode, SimConfig};
@@ -60,15 +60,49 @@ pub fn run(
 ) -> RunReport {
     let mut engine = Engine::new(catalog, policy, config, trace.horizon());
     for arrival in trace.iter() {
-        engine.events.push(
-            arrival.time,
-            EventKind::Arrival {
-                function: arrival.function,
-            },
-        );
+        engine.events.push_arrival(arrival.time, arrival.function);
     }
     engine.run_to_completion();
     engine.finish()
+}
+
+/// Like [`run`], but consumes arrivals lazily from an iterator instead
+/// of a materialized [`Trace`], keeping the engine's memory footprint
+/// independent of trace length. `arrivals` must be sorted by
+/// `(time, function)` — the order [`Trace::from_arrivals`] produces —
+/// and is clipped to `horizon` exactly as `from_arrivals` clips.
+///
+/// The result is **byte-identical** to materializing the same arrivals
+/// into a `Trace` and calling [`run`]: arrivals draw sequence numbers
+/// from the queue's low band (see `EventQueue::push_arrival`), so at
+/// any tick they sort before every runtime event no matter how late
+/// they were fed, and the feed loop guarantees every arrival is in the
+/// queue before the engine dispatches past its timestamp.
+pub fn run_streaming(
+    catalog: &Catalog,
+    policy: &mut dyn Policy,
+    arrivals: impl Iterator<Item = Arrival>,
+    horizon: Micros,
+    config: &SimConfig,
+) -> RunReport {
+    let mut engine = Engine::new(catalog, policy, config, horizon);
+    engine.run_streaming_loop(arrivals, None);
+    engine.finish()
+}
+
+/// [`run_streaming`] with the per-event-kind dispatch breakdown of
+/// [`run_with_profile`] (tick-batched dispatch, like that entry point).
+pub fn run_streaming_with_profile(
+    catalog: &Catalog,
+    policy: &mut dyn Policy,
+    arrivals: impl Iterator<Item = Arrival>,
+    horizon: Micros,
+    config: &SimConfig,
+) -> (RunReport, EngineProfile) {
+    let mut engine = Engine::new(catalog, policy, config, horizon);
+    let mut profile = EngineProfile::default();
+    engine.run_streaming_loop(arrivals, Some(&mut profile));
+    (engine.finish(), profile)
 }
 
 /// Index of an event kind in [`EngineProfile`]'s arrays.
@@ -129,12 +163,7 @@ pub fn run_with_profile(
 ) -> (RunReport, EngineProfile) {
     let mut engine = Engine::new(catalog, policy, config, trace.horizon());
     for arrival in trace.iter() {
-        engine.events.push(
-            arrival.time,
-            EventKind::Arrival {
-                function: arrival.function,
-            },
-        );
+        engine.events.push_arrival(arrival.time, arrival.function);
     }
     let mut profile = EngineProfile::default();
     engine.run_tick_batched(Some(&mut profile));
@@ -150,6 +179,11 @@ struct Engine<'a> {
     rng: StdRng,
     metrics: MetricsCollector,
     pending: VecDeque<QueuedInvocation>,
+    /// Arrival events currently in the queue during a streaming run.
+    /// The feed loop keeps this positive while unfed arrivals remain,
+    /// so the queue head always bounds the next arrival's time (see
+    /// `run_streaming_loop`). Up-front runs don't maintain it.
+    arrivals_in_queue: usize,
     horizon: Instant,
     first_arrival: Vec<Option<Instant>>,
     /// First catalog profile per language (downgrade-footprint anchor),
@@ -203,6 +237,7 @@ impl<'a> Engine<'a> {
                 MetricsCollector::new()
             },
             pending: VecDeque::new(),
+            arrivals_in_queue: 0,
             horizon: Instant::ZERO + horizon,
             first_arrival: vec![None; catalog.len()],
             anchor_by_lang,
@@ -230,19 +265,24 @@ impl<'a> Engine<'a> {
     /// The reference dispatch loop: pop and handle one event at a time.
     fn run_per_event(&mut self) {
         while let Some(event) = self.events.pop() {
-            debug_assert!(event.time >= self.now, "time must not run backwards");
-            self.now = event.time;
-            match event.kind {
-                EventKind::Arrival { function } => self.handle_arrival(function),
-                EventKind::InitComplete { container, epoch } => {
-                    self.handle_init_complete(container, epoch)
-                }
-                EventKind::ExecComplete { container } => self.handle_exec_complete(container),
-                EventKind::IdleTimeout { container, epoch } => {
-                    self.handle_idle_timeout(container, epoch)
-                }
-                EventKind::PrewarmFire { function } => self.handle_prewarm_fire(function),
+            self.dispatch_event(event);
+        }
+    }
+
+    /// Advances the clock to `event.time` and runs its handler.
+    fn dispatch_event(&mut self, event: Event) {
+        debug_assert!(event.time >= self.now, "time must not run backwards");
+        self.now = event.time;
+        match event.kind {
+            EventKind::Arrival { function } => self.handle_arrival(function),
+            EventKind::InitComplete { container, epoch } => {
+                self.handle_init_complete(container, epoch)
             }
+            EventKind::ExecComplete { container } => self.handle_exec_complete(container),
+            EventKind::IdleTimeout { container, epoch } => {
+                self.handle_idle_timeout(container, epoch)
+            }
+            EventKind::PrewarmFire { function } => self.handle_prewarm_fire(function),
         }
     }
 
@@ -260,63 +300,128 @@ impl<'a> Engine<'a> {
         while let Some(tick) = self.events.pop_tick(&mut batch) {
             debug_assert!(tick >= self.now, "time must not run backwards");
             self.now = tick;
-            let mut start = 0;
-            while start < batch.len() {
-                let rank = kind_rank(&batch[start].kind);
-                let mut end = start + 1;
-                while end < batch.len() && kind_rank(&batch[end].kind) == rank {
-                    end += 1;
-                }
-                let timer = profile
-                    .as_deref_mut()
-                    .map(|p| (std::time::Instant::now(), p));
-                match batch[start].kind {
-                    EventKind::Arrival { .. } => {
-                        for event in &batch[start..end] {
-                            let EventKind::Arrival { function } = event.kind else {
-                                unreachable!("grouped run is homogeneous");
-                            };
-                            self.handle_arrival(function);
-                        }
-                    }
-                    EventKind::InitComplete { .. } => {
-                        for event in &batch[start..end] {
-                            let EventKind::InitComplete { container, epoch } = event.kind else {
-                                unreachable!("grouped run is homogeneous");
-                            };
-                            self.handle_init_complete(container, epoch);
-                        }
-                    }
-                    EventKind::ExecComplete { .. } => {
-                        for event in &batch[start..end] {
-                            let EventKind::ExecComplete { container } = event.kind else {
-                                unreachable!("grouped run is homogeneous");
-                            };
-                            self.handle_exec_complete(container);
-                        }
-                    }
-                    EventKind::IdleTimeout { .. } => {
-                        for event in &batch[start..end] {
-                            let EventKind::IdleTimeout { container, epoch } = event.kind else {
-                                unreachable!("grouped run is homogeneous");
-                            };
-                            self.handle_idle_timeout(container, epoch);
-                        }
-                    }
-                    EventKind::PrewarmFire { .. } => {
-                        for event in &batch[start..end] {
-                            let EventKind::PrewarmFire { function } = event.kind else {
-                                unreachable!("grouped run is homogeneous");
-                            };
-                            self.handle_prewarm_fire(function);
-                        }
+            self.dispatch_batch(&batch, profile.as_deref_mut());
+        }
+    }
+
+    /// Dispatches one tick's drained events in grouped runs of same-kind
+    /// events (see [`Self::run_tick_batched`]).
+    fn dispatch_batch(&mut self, batch: &[Event], mut profile: Option<&mut EngineProfile>) {
+        let mut start = 0;
+        while start < batch.len() {
+            let rank = kind_rank(&batch[start].kind);
+            let mut end = start + 1;
+            while end < batch.len() && kind_rank(&batch[end].kind) == rank {
+                end += 1;
+            }
+            let timer = profile
+                .as_deref_mut()
+                .map(|p| (std::time::Instant::now(), p));
+            match batch[start].kind {
+                EventKind::Arrival { .. } => {
+                    for event in &batch[start..end] {
+                        let EventKind::Arrival { function } = event.kind else {
+                            unreachable!("grouped run is homogeneous");
+                        };
+                        self.handle_arrival(function);
                     }
                 }
-                if let Some((t0, p)) = timer {
-                    p.counts[rank] += (end - start) as u64;
-                    p.nanos[rank] += t0.elapsed().as_nanos() as u64;
+                EventKind::InitComplete { .. } => {
+                    for event in &batch[start..end] {
+                        let EventKind::InitComplete { container, epoch } = event.kind else {
+                            unreachable!("grouped run is homogeneous");
+                        };
+                        self.handle_init_complete(container, epoch);
+                    }
                 }
-                start = end;
+                EventKind::ExecComplete { .. } => {
+                    for event in &batch[start..end] {
+                        let EventKind::ExecComplete { container } = event.kind else {
+                            unreachable!("grouped run is homogeneous");
+                        };
+                        self.handle_exec_complete(container);
+                    }
+                }
+                EventKind::IdleTimeout { .. } => {
+                    for event in &batch[start..end] {
+                        let EventKind::IdleTimeout { container, epoch } = event.kind else {
+                            unreachable!("grouped run is homogeneous");
+                        };
+                        self.handle_idle_timeout(container, epoch);
+                    }
+                }
+                EventKind::PrewarmFire { .. } => {
+                    for event in &batch[start..end] {
+                        let EventKind::PrewarmFire { function } = event.kind else {
+                            unreachable!("grouped run is homogeneous");
+                        };
+                        self.handle_prewarm_fire(function);
+                    }
+                }
+            }
+            if let Some((t0, p)) = timer {
+                p.counts[rank] += (end - start) as u64;
+                p.nanos[rank] += t0.elapsed().as_nanos() as u64;
+            }
+            start = end;
+        }
+    }
+
+    /// The streaming dispatch loop: interleaves feeding arrivals from a
+    /// lazy iterator with dispatching ticks, honouring the configured
+    /// dispatch mode (profiled runs are tick-batched, mirroring
+    /// [`run_with_profile`]).
+    ///
+    /// Correctness invariant: before every `peek_time` the earliest
+    /// unfed arrival's time is at or above the queue head, so the
+    /// wheel's cursor advance can never pass an unfed arrival. It holds
+    /// because (a) whenever no arrival event is in the queue, the next
+    /// arrival is pushed unconditionally (its time is above the last
+    /// dispatched tick, hence above the cursor), and (b) when one *is*
+    /// in the queue, the head is at or below that arrival's time and
+    /// unfed arrivals — sorted — are at or above it. After peeking, the
+    /// feed loop pulls in every arrival at or before the head, so the
+    /// dispatched tick sees exactly the arrivals an up-front push would
+    /// have given it.
+    fn run_streaming_loop(
+        &mut self,
+        arrivals: impl Iterator<Item = Arrival>,
+        mut profile: Option<&mut EngineProfile>,
+    ) {
+        let horizon = self.horizon;
+        // Clip exactly as `Trace::from_arrivals` clips; the stream is
+        // time-sorted, so everything past the first late arrival is out.
+        let mut arrivals = arrivals.take_while(|a| a.time <= horizon).peekable();
+        let tick_batched =
+            profile.is_some() || matches!(self.config.dispatch, DispatchMode::TickBatched);
+        let mut batch: Vec<Event> = Vec::new();
+        loop {
+            if self.arrivals_in_queue == 0 {
+                if let Some(a) = arrivals.next() {
+                    self.events.push_arrival(a.time, a.function);
+                    self.arrivals_in_queue += 1;
+                }
+            }
+            let Some(head) = self.events.peek_time() else {
+                debug_assert!(arrivals.peek().is_none(), "unfed arrivals but empty queue");
+                break;
+            };
+            while arrivals.peek().is_some_and(|a| a.time <= head) {
+                let a = arrivals.next().expect("peeked arrival exists");
+                self.events.push_arrival(a.time, a.function);
+                self.arrivals_in_queue += 1;
+            }
+            if tick_batched {
+                let tick = self
+                    .events
+                    .pop_tick(&mut batch)
+                    .expect("peeked head exists");
+                debug_assert!(tick >= self.now, "time must not run backwards");
+                self.now = tick;
+                self.dispatch_batch(&batch, profile.as_deref_mut());
+            } else {
+                let event = self.events.pop().expect("peeked head exists");
+                self.dispatch_event(event);
             }
         }
     }
@@ -442,6 +547,7 @@ impl<'a> Engine<'a> {
     // ------------------------------------------------------------------
 
     fn handle_arrival(&mut self, f: FunctionId) {
+        self.arrivals_in_queue = self.arrivals_in_queue.saturating_sub(1);
         if self.first_arrival[f.index()].is_none() {
             self.first_arrival[f.index()] = Some(self.now);
         }
@@ -643,7 +749,10 @@ impl<'a> Engine<'a> {
         startup: Micros,
     ) -> bool {
         let target_mem = profile.memory_at(Layer::User);
-        let current_mem = self.pool.get(id).expect("reuse target exists").memory;
+        let (idle_since, current_mem) = {
+            let c = self.pool.get(id).expect("reuse target exists");
+            (c.idle_since, c.memory)
+        };
         if target_mem > current_mem {
             let delta = target_mem - current_mem;
             if !self.ensure_memory(delta, Some(id)) {
@@ -651,11 +760,7 @@ impl<'a> Engine<'a> {
             }
         }
         // The idle interval ends in a hit.
-        let (idle_since, mem_before) = {
-            let c = self.pool.get(id).expect("reuse target exists");
-            (c.idle_since, c.memory)
-        };
-        self.record_waste(mem_before, idle_since, self.now, IdleOutcome::Hit);
+        self.record_waste(current_mem, idle_since, self.now, IdleOutcome::Hit);
 
         let start_type = match class {
             ReuseClass::WarmUser => StartType::WarmUser,
@@ -1344,6 +1449,65 @@ mod tests {
         let cp = run(&cat, &mut p2, &trace, &cfg);
         assert!(cp.total_startup() < base.total_startup());
         assert!(cp.total_waste().value() > base.total_waste().value());
+    }
+
+    #[test]
+    fn streaming_run_is_byte_identical_to_materialized() {
+        use crate::event::QueueKind;
+        let cat = catalog();
+        let trace = trace_of(&[(0, 0), (10, 1), (20, 0), (20, 1), (40, 1), (70, 0)], 300);
+        for queue in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            for dispatch in [DispatchMode::TickBatched, DispatchMode::PerEvent] {
+                let cfg = SimConfig {
+                    event_queue: queue,
+                    dispatch,
+                    ..SimConfig::default()
+                };
+                let mut p1 = TestPolicy {
+                    ttl: Micros::from_secs(30),
+                    share_layers: true,
+                    downgrade: true,
+                    prewarm_delay: Some(Micros::from_secs(15)),
+                };
+                let materialized = run(&cat, &mut p1, &trace, &cfg);
+                let mut p2 = TestPolicy {
+                    ttl: Micros::from_secs(30),
+                    share_layers: true,
+                    downgrade: true,
+                    prewarm_delay: Some(Micros::from_secs(15)),
+                };
+                let streamed =
+                    run_streaming(&cat, &mut p2, trace.iter().copied(), trace.horizon(), &cfg);
+                assert_eq!(
+                    streamed.to_json(),
+                    materialized.to_json(),
+                    "streaming diverged ({queue:?}, {dispatch:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_clips_at_horizon_like_from_arrivals() {
+        let cat = catalog();
+        let horizon = Micros::from_secs(50);
+        let all = [(0u64, 0u32), (30, 0), (60, 0), (90, 1)];
+        let trace = trace_of(&all, 50);
+        assert_eq!(trace.len(), 2, "from_arrivals clips past the horizon");
+        let mut p1 = TestPolicy::keepalive(Micros::from_mins(1));
+        let materialized = run(&cat, &mut p1, &trace, &config());
+        let mut p2 = TestPolicy::keepalive(Micros::from_mins(1));
+        let streamed = run_streaming(
+            &cat,
+            &mut p2,
+            all.iter().map(|&(s, f)| Arrival {
+                time: Instant::from_micros(s * 1_000_000),
+                function: FunctionId::new(f),
+            }),
+            horizon,
+            &config(),
+        );
+        assert_eq!(streamed.to_json(), materialized.to_json());
     }
 
     #[test]

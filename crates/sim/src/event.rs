@@ -172,9 +172,14 @@ impl Wheel {
         let t = event.time.as_micros();
         debug_assert!(t >= self.cursor, "cannot schedule into the past");
         if t == self.cursor {
-            // `seq` is globally monotone, so appending keeps `current`
-            // sorted.
-            self.current.push_back(event);
+            // Runtime seqs are monotone (append would suffice), but a
+            // lazily fed arrival carries a low-band seq and may be
+            // pushed after runtime events already cascaded into
+            // `current` — insert by seq to keep the tick sorted. For
+            // monotone pushes the partition point is `len()`, so this
+            // degenerates to the old `push_back`.
+            let at = self.current.partition_point(|e| e.seq < event.seq);
+            self.current.insert(at, event);
             return;
         }
         let level = (u64::BITS - 1 - (t ^ self.cursor).leading_zeros()) / SLOT_BITS;
@@ -185,11 +190,26 @@ impl Wheel {
     }
 
     fn pop(&mut self) -> Option<Event> {
+        if self.advance_to_head() {
+            self.current.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Advances `cursor` to the earliest pending timestamp (cascading
+    /// coarser slots down as needed) and returns whether any event is
+    /// pending; on `true`, `current` is non-empty and holds the head
+    /// tick. This is `pop` without the removal, shared by `pop` and
+    /// [`EventQueue::peek_time`].
+    fn advance_to_head(&mut self) -> bool {
         loop {
-            if let Some(event) = self.current.pop_front() {
-                return Some(event);
+            if !self.current.is_empty() {
+                return true;
             }
-            let level = (0..LEVELS).find(|&l| self.levels[l].occupied != 0)?;
+            let Some(level) = (0..LEVELS).find(|&l| self.levels[l].occupied != 0) else {
+                return false;
+            };
             let slot = self.levels[level].occupied.trailing_zeros();
             let drained = {
                 let lvl = &mut self.levels[level];
@@ -220,6 +240,18 @@ impl Wheel {
         }
     }
 }
+
+/// First sequence number of the runtime band: events the engine
+/// schedules while running (timers, completions, prewarms) draw seqs
+/// from here up, while arrivals — whether pushed up front from a
+/// materialized trace or fed lazily from a streaming iterator — draw
+/// from the low band starting at 0. The engine never schedules an
+/// arrival at runtime, so within any tick the order is always: arrivals
+/// in trace order, then runtime events in scheduling order — exactly
+/// the order a fully materialized trace produces. That makes lazy
+/// arrival feeding byte-identical to up-front pushing. 2^48 leaves both
+/// bands room for hundreds of trillions of events.
+const RUNTIME_SEQ_BASE: u64 = 1 << 48;
 
 /// A per-container-slot generation stamp: events scheduled for an older
 /// slot generation (`seq`) or an older epoch of the current generation
@@ -259,7 +291,11 @@ fn stale(stamps: &[Stamp], event: &Event) -> bool {
 #[derive(Debug)]
 pub struct EventQueue {
     backend: Backend,
+    /// Next runtime-band sequence number (starts at
+    /// [`RUNTIME_SEQ_BASE`]).
     next_seq: u64,
+    /// Next arrival-band sequence number (starts at 0).
+    next_arrival_seq: u64,
     len: usize,
     /// Generation stamps indexed by pool slot (`ContainerId::slot`).
     stamps: Vec<Stamp>,
@@ -285,13 +321,14 @@ impl EventQueue {
         };
         EventQueue {
             backend,
-            next_seq: 0,
+            next_seq: RUNTIME_SEQ_BASE,
+            next_arrival_seq: 0,
             len: 0,
             stamps: Vec::new(),
         }
     }
 
-    /// Schedules `kind` at `time`.
+    /// Schedules `kind` at `time` in the runtime sequence band.
     pub fn push(&mut self, time: Instant, kind: EventKind) {
         // Scheduling an epoch-guarded event proves the container has
         // reached that epoch, so anything older is already stale.
@@ -305,6 +342,67 @@ impl EventQueue {
         match &mut self.backend {
             Backend::Wheel(w) => w.push(event),
             Backend::Heap(h) => h.push(event),
+        }
+    }
+
+    /// Schedules an invocation arrival of `function` at `time` in the
+    /// low (arrival) sequence band: at any tick, arrivals sort before
+    /// every runtime event regardless of when they were fed into the
+    /// queue — see [`RUNTIME_SEQ_BASE`]. Arrivals must be pushed in
+    /// trace order (non-decreasing time).
+    pub fn push_arrival(&mut self, time: Instant, function: FunctionId) {
+        let seq = self.next_arrival_seq;
+        self.next_arrival_seq += 1;
+        self.len += 1;
+        let event = Event {
+            time,
+            seq,
+            kind: EventKind::Arrival { function },
+        };
+        match &mut self.backend {
+            Backend::Wheel(w) => w.push(event),
+            Backend::Heap(h) => h.push(event),
+        }
+    }
+
+    /// The timestamp of the earliest live pending event, discarding
+    /// provably stale heads along the way (exactly the events `pop`
+    /// would discard).
+    ///
+    /// On the wheel backend this advances the cursor to the head tick,
+    /// so afterwards only events at `>=` the returned time may be
+    /// pushed. The streaming drivers uphold that by construction: they
+    /// keep the earliest unfed arrival's time at or above the queue
+    /// head before every peek (see `engine::run_streaming`).
+    pub fn peek_time(&mut self) -> Option<Instant> {
+        let EventQueue {
+            backend,
+            len,
+            stamps,
+            ..
+        } = self;
+        match backend {
+            Backend::Wheel(w) => loop {
+                if !w.advance_to_head() {
+                    return None;
+                }
+                let event = *w.current.front().expect("advance_to_head returned true");
+                if stale(stamps, &event) {
+                    w.current.pop_front();
+                    *len -= 1;
+                    continue;
+                }
+                return Some(event.time);
+            },
+            Backend::Heap(h) => loop {
+                let event = *h.peek()?;
+                if stale(stamps, &event) {
+                    h.pop();
+                    *len -= 1;
+                    continue;
+                }
+                return Some(event.time);
+            },
         }
     }
 
@@ -720,5 +818,98 @@ mod tests {
         q.push(t(10), EventKind::ExecComplete { container: c });
         q.retire(c);
         assert!(q.pop().is_some());
+    }
+
+    #[test]
+    fn arrivals_sort_before_runtime_events_at_a_tick() {
+        // Whether an arrival is pushed before or after the runtime
+        // events sharing its tick, it must pop first — the low seq
+        // band guarantees it on both backends.
+        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            let mut q = EventQueue::with_backend(kind);
+            q.push(t(10), prewarm(1));
+            q.push(t(10), prewarm(2));
+            q.push_arrival(t(10), FunctionId::new(7));
+            let order: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+            assert_eq!(
+                order,
+                vec![
+                    EventKind::Arrival {
+                        function: FunctionId::new(7)
+                    },
+                    prewarm(1),
+                    prewarm(2),
+                ],
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_arrival_feed_matches_up_front_pushing() {
+        // The streaming pattern: peek the head tick, feed the arrivals
+        // at or before it, dispatch. The pop order must be identical to
+        // pushing every arrival up front.
+        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            let mut up_front = EventQueue::with_backend(kind);
+            let mut lazy = EventQueue::with_backend(kind);
+            let arrivals = [5u64, 10, 10, 20];
+            for (i, &us) in arrivals.iter().enumerate() {
+                up_front.push_arrival(t(us), FunctionId::new(i as u32));
+            }
+            for q in [&mut up_front, &mut lazy] {
+                q.push(t(10), prewarm(90));
+                q.push(t(20), prewarm(91));
+            }
+            let mut popped_up_front = Vec::new();
+            let mut popped_lazy = Vec::new();
+            let mut fed = arrivals.iter().enumerate();
+            let mut pending = fed.next();
+            loop {
+                // Keep the earliest unfed arrival at/above the head.
+                if let Some((i, &us)) = pending {
+                    lazy.push_arrival(t(us), FunctionId::new(i as u32));
+                    pending = fed.next();
+                }
+                let Some(head) = lazy.peek_time() else { break };
+                while let Some((i, &us)) = pending {
+                    if t(us) > head {
+                        break;
+                    }
+                    lazy.push_arrival(t(us), FunctionId::new(i as u32));
+                    pending = fed.next();
+                }
+                popped_lazy.push(lazy.pop().expect("peeked head exists"));
+            }
+            while let Some(e) = up_front.pop() {
+                popped_up_front.push(e);
+            }
+            assert_eq!(popped_lazy, popped_up_front, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn peek_time_reports_head_and_drops_stale_heads() {
+        let c = ContainerId::new(4);
+        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            let mut q = EventQueue::with_backend(kind);
+            assert_eq!(q.peek_time(), None);
+            q.push(
+                t(10),
+                EventKind::IdleTimeout {
+                    container: c,
+                    epoch: 0,
+                },
+            );
+            q.push(t(30), prewarm(1));
+            assert_eq!(q.peek_time(), Some(t(10)), "{kind:?}");
+            // Invalidate the head: peek must skip to the live event and
+            // discard the stale one for good.
+            q.note(c, 5);
+            assert_eq!(q.peek_time(), Some(t(30)), "{kind:?}");
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop().map(|e| e.time), Some(t(30)));
+            assert!(q.is_empty());
+        }
     }
 }

@@ -44,4 +44,4 @@ pub mod pool;
 pub mod tiered;
 
 pub use config::{CheckpointConfig, DispatchMode, SimConfig};
-pub use engine::{run, run_with_profile, EngineProfile};
+pub use engine::{run, run_streaming, run_streaming_with_profile, run_with_profile, EngineProfile};

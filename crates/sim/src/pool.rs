@@ -605,6 +605,11 @@ impl Pool {
             .and_then(|s| s.as_mut())
             .filter(|c| c.id == id)
             .expect("unknown container");
+        if c.memory == new_memory {
+            // Most reuses keep the footprint: skip the accounting and
+            // the idle-view invalidation a no-op resize would cause.
+            return;
+        }
         let new_used = self.used - c.memory + new_memory;
         assert!(
             new_used <= self.capacity,

@@ -15,7 +15,9 @@ use rand::{Rng, SeedableRng};
 
 use rainbowcake_core::types::FunctionId;
 
-use crate::replay::{replay, MinuteSeries};
+use rainbowcake_core::time::Micros;
+
+use crate::replay::{replay, replay_horizon, MinuteSeries, ReplayIter};
 use crate::samplers::{lognormal_mean_cv, poisson};
 use crate::trace::Trace;
 
@@ -248,6 +250,54 @@ pub fn azure_like_trace(n_functions: usize, config: &AzureConfig) -> Trace {
     replay(&synthesize_series(n_functions, config))
 }
 
+/// An Azure-like workload held as compact per-minute series: the same
+/// arrivals as [`azure_like_trace`] but replayable lazily any number of
+/// times, so a run's memory footprint stays proportional to
+/// `functions x minutes` instead of the invocation count.
+#[derive(Debug, Clone)]
+pub struct AzureStream {
+    series: Vec<MinuteSeries>,
+}
+
+impl AzureStream {
+    /// The trace horizon (what [`Trace::horizon`] would report).
+    pub fn horizon(&self) -> Micros {
+        replay_horizon(&self.series)
+    }
+
+    /// Total invocation count (what [`Trace::len`] would report —
+    /// every expanded arrival lands inside the horizon).
+    pub fn total(&self) -> u64 {
+        self.series.iter().map(|s| s.total()).sum()
+    }
+
+    /// A fresh pass over the arrivals in `(time, function)` order.
+    pub fn iter(&self) -> ReplayIter<'_> {
+        ReplayIter::new(&self.series)
+    }
+
+    /// The underlying per-minute series.
+    pub fn series(&self) -> &[MinuteSeries] {
+        &self.series
+    }
+}
+
+impl<'a> IntoIterator for &'a AzureStream {
+    type Item = crate::Arrival;
+    type IntoIter = ReplayIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Synthesizes an Azure-like workload as a lazily replayable stream —
+/// identical arrivals to [`azure_like_trace`] with the same config.
+pub fn azure_like_stream(n_functions: usize, config: &AzureConfig) -> AzureStream {
+    AzureStream {
+        series: synthesize_series(n_functions, config),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +379,20 @@ mod tests {
             let per_min = s.total() as f64 / s.counts.len() as f64;
             assert!(per_min < 0.15, "sparse fn {idx} too hot: {per_min}/min");
         }
+    }
+
+    #[test]
+    fn stream_matches_materialized_trace() {
+        let cfg = AzureConfig {
+            hours: 1,
+            ..AzureConfig::default()
+        };
+        let trace = azure_like_trace(20, &cfg);
+        let stream = azure_like_stream(20, &cfg);
+        assert_eq!(stream.horizon(), trace.horizon());
+        assert_eq!(stream.total() as usize, trace.len());
+        let lazy: Vec<_> = stream.iter().collect();
+        assert_eq!(lazy, trace.arrivals().to_vec());
     }
 
     #[test]

@@ -29,36 +29,104 @@ impl MinuteSeries {
 /// Expands one minute bucket into concrete arrival instants per the
 /// replay rule.
 pub fn expand_bucket(minute: usize, count: u32, function: FunctionId) -> Vec<Arrival> {
+    let mut out = Vec::new();
+    expand_bucket_into(minute, count, function, &mut out);
+    out
+}
+
+/// [`expand_bucket`] appending into a caller-owned buffer (the
+/// allocation-recycling form the streaming replay uses).
+pub fn expand_bucket_into(minute: usize, count: u32, function: FunctionId, out: &mut Vec<Arrival>) {
     let start = Instant::from_micros(minute as u64 * 60_000_000);
     match count {
-        0 => Vec::new(),
-        1 => vec![Arrival {
+        0 => {}
+        1 => out.push(Arrival {
             time: start,
             function,
-        }],
+        }),
         k => {
             let step = Micros::from_micros(60_000_000 / k as u64);
-            (0..k)
-                .map(|i| Arrival {
-                    time: start + Micros::from_micros(step.as_micros() * i as u64),
-                    function,
-                })
-                .collect()
+            out.extend((0..k).map(|i| Arrival {
+                time: start + Micros::from_micros(step.as_micros() * i as u64),
+                function,
+            }));
         }
     }
 }
 
 /// Replays a set of per-minute series into a merged, sorted [`Trace`].
 pub fn replay(series: &[MinuteSeries]) -> Trace {
-    let minutes = series.iter().map(|s| s.counts.len()).max().unwrap_or(0);
-    let horizon = Micros::from_mins(minutes as u64);
     let mut arrivals = Vec::new();
     for s in series {
         for (minute, &count) in s.counts.iter().enumerate() {
             arrivals.extend(expand_bucket(minute, count, s.function));
         }
     }
-    Trace::from_arrivals(horizon, arrivals)
+    Trace::from_arrivals(replay_horizon(series), arrivals)
+}
+
+/// The horizon [`replay`] assigns to a series set.
+pub fn replay_horizon(series: &[MinuteSeries]) -> Micros {
+    let minutes = series.iter().map(|s| s.counts.len()).max().unwrap_or(0);
+    Micros::from_mins(minutes as u64)
+}
+
+/// Lazily replays a series set: yields exactly the arrivals of
+/// [`replay`] in the same `(time, function)` order, but materializes
+/// only one minute at a time, so peak memory is bounded by the busiest
+/// minute instead of the full invocation count.
+///
+/// Order argument: every expanded arrival stays inside its minute, so
+/// the minute blocks are disjoint time ranges and sorting each block by
+/// `(time, function)` reproduces the global `Trace::from_arrivals`
+/// sort; arrivals that tie on both keys are identical values, so their
+/// relative order is immaterial.
+#[derive(Debug, Clone)]
+pub struct ReplayIter<'a> {
+    series: &'a [MinuteSeries],
+    minutes: usize,
+    minute: usize,
+    buf: Vec<Arrival>,
+    pos: usize,
+}
+
+impl<'a> ReplayIter<'a> {
+    /// Starts a lazy replay of `series`.
+    pub fn new(series: &'a [MinuteSeries]) -> Self {
+        let minutes = series.iter().map(|s| s.counts.len()).max().unwrap_or(0);
+        ReplayIter {
+            series,
+            minutes,
+            minute: 0,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl Iterator for ReplayIter<'_> {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        while self.pos >= self.buf.len() {
+            if self.minute >= self.minutes {
+                return None;
+            }
+            self.buf.clear();
+            self.pos = 0;
+            for s in self.series {
+                if let Some(&count) = s.counts.get(self.minute) {
+                    expand_bucket_into(self.minute, count, s.function, &mut self.buf);
+                }
+            }
+            // Identical values may tie, so an unstable sort is exact.
+            self.buf.sort_unstable_by_key(|a| (a.time, a.function));
+            self.minute += 1;
+        }
+        let a = self.buf[self.pos];
+        self.pos += 1;
+        Some(a)
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +195,33 @@ mod tests {
             counts: vec![1, 2, 3],
         };
         assert_eq!(s.total(), 6);
+    }
+
+    #[test]
+    fn lazy_replay_matches_materialized_replay() {
+        let series = vec![
+            MinuteSeries {
+                function: fid(0),
+                counts: vec![1, 0, 2, 5],
+            },
+            MinuteSeries {
+                function: fid(1),
+                counts: vec![0, 3, 2],
+            },
+            MinuteSeries {
+                function: fid(2),
+                counts: vec![4],
+            },
+        ];
+        let t = replay(&series);
+        let lazy: Vec<Arrival> = ReplayIter::new(&series).collect();
+        assert_eq!(lazy, t.arrivals().to_vec());
+        assert_eq!(replay_horizon(&series), t.horizon());
+    }
+
+    #[test]
+    fn lazy_replay_of_empty_series_is_empty() {
+        assert_eq!(ReplayIter::new(&[]).count(), 0);
+        assert_eq!(replay_horizon(&[]), Micros::from_mins(0));
     }
 }
