@@ -1,8 +1,16 @@
 //! Million-invocation stress run: drives a large synthesized
 //! multi-worker trace through all six §7.1 policies and records engine
 //! throughput plus per-policy peak-memory growth into the
-//! `BENCH_<seq>.json` artifact series (schema `rainbowcake-stress/3`;
-//! `/1` and `/2` artifacts are still readable as perf baselines).
+//! `BENCH_<seq>.json` artifact series (schema `rainbowcake-stress/4`;
+//! `/1`–`/3` artifacts are still readable as perf baselines).
+//!
+//! Schema `/4` additions: every policy row carries the History
+//! Recorder's query counters (`history`: rate queries, compound-scope
+//! queries, memo hits, member scans, fitted terms — all zero for
+//! policies without a recorder), and the scaling section gains a
+//! `streaming` point that re-runs RainbowCake on a trace scaled past
+//! 10^8 invocations to prove the streaming pipeline's memory stays
+//! flat (bounded by channel depth, not trace length) at full speed.
 //!
 //! The trace is never materialized: each policy run consumes the
 //! Azure-like workload from its compact per-minute series through
@@ -31,6 +39,10 @@
 //! * `--smoke` — the CI guard: a one-hour trace through every dispatch
 //!   mode and both cluster pipelines with byte-identity asserts, then
 //!   per-policy throughput floors against the committed artifact.
+//!   With `--hours H` (H > 1) it becomes the long-stream smoke
+//!   instead: stream an H-hour trace through RainbowCake and assert
+//!   the process RSS stays flat — the guard for the streaming
+//!   pipeline's O(1)-memory claim (`--smoke --hours 96` in CI).
 //!
 //! Besides wall-clock `events_per_s`, every row records
 //! `calibrated_events_per_s` = completed / max(router CPU s, slowest
@@ -44,6 +56,7 @@
 use std::time::Instant as WallInstant;
 
 use rainbowcake_bench::{make_policy, parallel, BASELINE_NAMES};
+use rainbowcake_core::history::HistoryStats;
 use rainbowcake_core::profile::Catalog;
 use rainbowcake_metrics::json::{escape_str, fmt_f64};
 use rainbowcake_metrics::RunReport;
@@ -207,10 +220,9 @@ fn baseline_events_per_s(dir: &str) -> Option<(String, Vec<(String, f64)>)> {
         let Ok(text) = std::fs::read_to_string(&path) else {
             continue;
         };
-        if !text.contains("\"schema\":\"rainbowcake-stress/1\"")
-            && !text.contains("\"schema\":\"rainbowcake-stress/2\"")
-            && !text.contains("\"schema\":\"rainbowcake-stress/3\"")
-        {
+        let known_schema =
+            (1..=4).any(|v| text.contains(&format!("\"schema\":\"rainbowcake-stress/{v}\"")));
+        if !known_schema {
             continue;
         }
         let mut rows = Vec::new();
@@ -248,7 +260,7 @@ const PERF_FLOOR_RATIO: f64 = 0.6;
 fn perf_smoke(shards: usize) {
     let dir = std::env::var("PERF_BASELINE_DIR").unwrap_or_else(|_| ".".to_string());
     let Some((path, baseline)) = baseline_events_per_s(&dir) else {
-        println!("perf smoke: no rainbowcake-stress/{{1,2,3}} artifact found, skipping");
+        println!("perf smoke: no rainbowcake-stress/{{1..4}} artifact found, skipping");
         return;
     };
     if cfg!(debug_assertions) {
@@ -297,6 +309,50 @@ fn perf_smoke(shards: usize) {
         violations.join("\n  ")
     );
     println!("perf smoke passed against {path}");
+}
+
+/// The long-stream smoke (`--smoke --hours H`, H > 1): streams an
+/// H-hour trace through RainbowCake on every shard and asserts the
+/// process high-water RSS stays flat — the CI guard for the streaming
+/// pipeline's O(channel-depth) memory claim. Trace length grows with
+/// `H` while the asserted bound does not.
+fn long_stream_smoke(hours: u64, shards: usize) {
+    let catalog = paper_catalog();
+    let stream = azure_like_stream(
+        catalog.len(),
+        &AzureConfig {
+            hours,
+            // Millions of invocations in a CI-sized run, so the flat-RSS
+            // assert watches a stream long enough to expose any
+            // length-proportional buffering.
+            rate_scale: 16.0,
+            ..AzureConfig::default()
+        },
+    );
+    let config = SimConfig {
+        streaming_metrics: true,
+        ..SimConfig::default()
+    };
+    let before_kb = peak_rss_kb();
+    let t0 = WallInstant::now();
+    let sharded = run_policy_sharded(&catalog, "RainbowCake", &stream, shards, &config);
+    let completed = sharded.report.completed();
+    let after_kb = peak_rss_kb();
+    let grew_kb = after_kb.saturating_sub(before_kb);
+    println!(
+        "long-stream smoke: {completed} invocations over {hours}h in {:.1} s, \
+         RSS {before_kb} -> {after_kb} kB (+{grew_kb} kB)",
+        t0.elapsed().as_secs_f64()
+    );
+    assert!(completed > 0, "long-stream smoke completed nothing");
+    // Flat means bounded by the pipeline, not the trace: per-shard
+    // engines + bounded channels fit comfortably under 64 MB total and
+    // the margin does not scale with `hours`.
+    assert!(
+        after_kb <= 64 * 1024,
+        "long-stream smoke: peak RSS {after_kb} kB exceeds the 64 MB flat-memory bound"
+    );
+    println!("stress --smoke --hours {hours} passed");
 }
 
 fn smoke(profiling: bool, shards: usize) {
@@ -479,6 +535,18 @@ struct PolicyRow {
     merge_s: f64,
     shard_cpu_s: Vec<f64>,
     rss_delta_kb: u64,
+    /// History Recorder query counters summed across shards (all zero
+    /// for policies without a recorder).
+    history: HistoryStats,
+}
+
+/// The `history` sub-object of a policy row / profile line.
+fn history_json(h: &HistoryStats) -> String {
+    format!(
+        "{{\"queries\":{},\"scope_queries\":{},\"scope_hits\":{},\
+         \"scans\":{},\"terms_computed\":{}}}",
+        h.queries, h.scope_queries, h.scope_hits, h.scans, h.terms_computed,
+    )
 }
 
 impl PolicyRow {
@@ -487,7 +555,7 @@ impl PolicyRow {
         format!(
             "{{\"name\":{},\"completed\":{},\"cold_starts\":{},\"wall_s\":{},\
              \"events_per_s\":{},\"calibrated_events_per_s\":{},\"route_s\":{},\
-             \"merge_s\":{},\"shard_cpu_s\":[{}],\"rss_delta_kb\":{}}}",
+             \"merge_s\":{},\"shard_cpu_s\":[{}],\"rss_delta_kb\":{},\"history\":{}}}",
             escape_str(self.name),
             self.completed,
             self.cold,
@@ -498,6 +566,7 @@ impl PolicyRow {
             fmt_f64(self.merge_s),
             cpus.join(","),
             self.rss_delta_kb,
+            history_json(&self.history),
         )
     }
 }
@@ -538,6 +607,7 @@ fn measure_policy(
         .iter()
         .copied()
         .fold(sharded.route_cpu_s, f64::max);
+    let history = sharded.history();
     PolicyRow {
         name,
         completed,
@@ -549,6 +619,7 @@ fn measure_policy(
         merge_s,
         shard_cpu_s: sharded.shard_cpu_s,
         rss_delta_kb,
+        history,
     }
 }
 
@@ -557,7 +628,12 @@ fn main() {
     let shards: usize = numeric_flag("--shards", DEFAULT_SHARDS);
     assert!(shards > 0, "--shards must be positive");
     if std::env::args().any(|a| a == "--smoke") {
-        smoke(profiling, shards);
+        let hours: u64 = numeric_flag("--hours", 1);
+        if hours > 1 {
+            long_stream_smoke(hours, shards);
+        } else {
+            smoke(profiling, shards);
+        }
         return;
     }
     let selected = policy_filter();
@@ -633,6 +709,14 @@ fn main() {
             row.merge_s,
             row.rss_delta_kb
         );
+        if row.history.queries > 0 {
+            let h = &row.history;
+            println!(
+                "    history: {} rate queries ({} compound; {} memo hits, {} scans \
+                 fitting {} terms)",
+                h.queries, h.scope_queries, h.scope_hits, h.scans, h.terms_computed
+            );
+        }
         rows.push(row);
     }
 
@@ -661,8 +745,53 @@ fn main() {
             many.calibrated_events_per_s,
             many.calibrated_events_per_s / one.calibrated_events_per_s
         );
+        // Streaming-scale evidence: push the same pipeline past 10^8
+        // invocations (RainbowCake only) and record that peak RSS stays
+        // flat — memory is bounded by the router's channel depth, never
+        // by the trace length.
+        let mega_factor = (1e8 / total as f64).ceil().max(1.0);
+        let mega_azure = AzureConfig {
+            rate_scale: azure.rate_scale * mega_factor,
+            ..azure
+        };
+        println!(
+            "  scaling: synthesizing {}h trace at {}x rate for the >=1e8 streaming point ...",
+            mega_azure.hours, mega_azure.rate_scale
+        );
+        let mega_stream = azure_like_stream(catalog.len(), &mega_azure);
+        let mega_total = mega_stream.total();
+        assert!(
+            mega_total >= 100_000_000,
+            "streaming point must cover 1e8 invocations (got {mega_total})"
+        );
+        let mut mega_mark = peak_rss_kb();
+        let mega = measure_policy(
+            &catalog,
+            "RainbowCake",
+            &mega_stream,
+            shards,
+            &config,
+            &mut mega_mark,
+        );
+        let mega_rss = peak_rss_kb();
+        println!(
+            "  scaling RainbowCake streaming: {} invocations at {:.0} inv/s wall \
+             ({:.0} calibrated), peak RSS {} MB",
+            mega.completed,
+            mega.events_per_s,
+            mega.calibrated_events_per_s,
+            mega_rss / 1024
+        );
+        assert!(
+            mega_rss <= 64 * 1024,
+            "streaming 1e8-invocation run must hold peak RSS <= 64 MB (got {} kB)",
+            mega_rss
+        );
         format!(
-            ",\"scaling\":{{\"policy\":\"RainbowCake\",\"points\":[{},{}]}}",
+            ",\"scaling\":{{\"policy\":\"RainbowCake\",\"points\":[{},{}],\
+             \"streaming\":{{\"shards\":{shards},\"invocations\":{},\
+             \"rate_scale\":{},\"events_per_s\":{},\"calibrated_events_per_s\":{},\
+             \"peak_rss_kb\":{}}}}}",
             format_args!(
                 "{{\"shards\":1,\"events_per_s\":{},\"calibrated_events_per_s\":{}}}",
                 fmt_f64(one.events_per_s),
@@ -673,6 +802,11 @@ fn main() {
                 fmt_f64(many.events_per_s),
                 fmt_f64(many.calibrated_events_per_s)
             ),
+            mega.completed,
+            fmt_f64(mega_azure.rate_scale),
+            fmt_f64(mega.events_per_s),
+            fmt_f64(mega.calibrated_events_per_s),
+            mega_rss,
         )
     } else {
         String::new()
@@ -680,7 +814,7 @@ fn main() {
 
     let row_json: Vec<String> = rows.iter().map(|r| r.to_json()).collect();
     let json = format!(
-        "{{\"schema\":\"rainbowcake-stress/3\",\"shards\":{shards},\
+        "{{\"schema\":\"rainbowcake-stress/4\",\"shards\":{shards},\
          \"hours\":{},\"rate_scale\":{},\
          \"invocations\":{total},\"router\":\"Locality+Sharing+Load\",\
          \"peak_rss_kb\":{}{scaling},\"policies\":[{}]}}\n",

@@ -21,7 +21,40 @@
 //! The recorder also keeps per-function sliding windows of the observed
 //! startup latency and idle memory footprint per layer (Eq. 5), which
 //! the keep-alive algorithm needs for the β bound (Eq. 6).
+//!
+//! # Compound-rate queries are amortized O(1), and exact
+//!
+//! Eq. 2 makes every `Lang`/`Bare` TTL decision a sum over a sharing
+//! set that can span the whole catalog, and RainbowCake issues those
+//! on every idle transition and downgrade. Three cooperating
+//! mechanisms keep the hot path off the naive O(functions) scan while
+//! returning bit-identical values (see DESIGN.md §11):
+//!
+//! * **Generation-stamped scope memoization** — each `Language` scope
+//!   and `Global` carries a `(now, generation) → rate` cell,
+//!   invalidated only when a member records an arrival or `now`
+//!   advances. Tick-batched dispatch holds `now` constant across a
+//!   batch, so repeated queries in a tick collapse to one scan.
+//! * **Incremental per-function aggregates** — `record_arrival`
+//!   maintains dense `win_len` / `win_oldest` mirrors of each ring, so
+//!   a term is two flat-array loads and one division instead of a
+//!   pointer chase through per-function ring state. (An earlier draft
+//!   also memoized individual terms in per-function cells; profiling
+//!   showed scope queries land at distinct simulated ticks on real
+//!   traces, so the cells never hit and their writes were pure
+//!   overhead — the dense recompute is faster.)
+//! * **Active-member lists** — a function contributes exactly `+0.0`
+//!   until its window holds two arrivals, and window length never
+//!   shrinks, so scans iterate sorted lists of ever-seen members
+//!   instead of the whole catalog. Skipping `+0.0` terms of a
+//!   non-negative sum is bit-exact: the accumulator starts at `+0.0`
+//!   and IEEE-754 gives `x + 0.0 = x` for every non-negative `x`.
+//!
+//! The naive scan survives as [`HistoryRecorder::rate_uncached`]; debug
+//! builds assert bit-equality on every cached query, and a proptest
+//! drives arbitrary interleavings through both paths.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 use crate::error::ConfigError;
@@ -79,11 +112,19 @@ pub fn iat_with_numerator(lambda_per_sec: f64, neg_ln_survival: f64) -> Micros {
 }
 
 /// A bounded window of `f64` samples with an O(1) running mean.
+///
+/// The mean maintains a running sum that subtracts evicted samples; to
+/// keep the error from compounding over 10⁸-invocation streams, the sum
+/// is recomputed exactly from the live samples every `cap` evictions,
+/// so drift is bounded by one window's worth of rounding instead of
+/// growing with stream length.
 #[derive(Debug, Clone, Default)]
 struct StatWindow {
     samples: VecDeque<f64>,
     cap: usize,
     sum: f64,
+    /// Evictions since the last exact-sum recomputation.
+    evictions: usize,
 }
 
 impl StatWindow {
@@ -92,6 +133,7 @@ impl StatWindow {
             samples: VecDeque::with_capacity(cap),
             cap,
             sum: 0.0,
+            evictions: 0,
         }
     }
 
@@ -99,10 +141,16 @@ impl StatWindow {
         if self.samples.len() == self.cap {
             if let Some(old) = self.samples.pop_front() {
                 self.sum -= old;
+                self.evictions += 1;
             }
         }
         self.samples.push_back(v);
-        self.sum += v;
+        if self.evictions >= self.cap {
+            self.evictions = 0;
+            self.sum = self.samples.iter().sum();
+        } else {
+            self.sum += v;
+        }
     }
 
     fn mean(&self) -> Option<f64> {
@@ -114,10 +162,10 @@ impl StatWindow {
     }
 }
 
-/// Per-function recorder state.
+/// Per-function recorder state for the Eq. 5 observation windows.
+/// Arrival windows live in the recorder's flat ring storage.
 #[derive(Debug, Clone)]
 struct FunctionHistory {
-    arrivals: VecDeque<Instant>,
     /// Observed startup latency per layer (seconds), Eq. 5 window.
     startup: [StatWindow; 3],
     /// Observed idle memory per layer (MB), Eq. 5 window.
@@ -127,7 +175,6 @@ struct FunctionHistory {
 impl FunctionHistory {
     fn new(window: usize) -> Self {
         FunctionHistory {
-            arrivals: VecDeque::with_capacity(window),
             startup: [
                 StatWindow::new(window),
                 StatWindow::new(window),
@@ -140,16 +187,6 @@ impl FunctionHistory {
             ],
         }
     }
-
-    /// `λ_f = n / (now − j′)`: decays while the function is silent.
-    fn rate_at(&self, now: Instant) -> f64 {
-        if self.arrivals.len() < 2 {
-            return 0.0;
-        }
-        let oldest = *self.arrivals.front().expect("non-empty window");
-        let span = now.duration_since(oldest).max(Micros::from_micros(1));
-        self.arrivals.len() as f64 / span.as_secs_f64()
-    }
 }
 
 fn layer_idx(layer: Layer) -> usize {
@@ -160,12 +197,54 @@ fn layer_idx(layer: Layer) -> usize {
     }
 }
 
-fn lang_idx(language: Language) -> usize {
-    match language {
-        Language::NodeJs => 0,
-        Language::Python => 1,
-        Language::Java => 2,
+/// Counters describing how the recorder answered its rate queries —
+/// the observable cost of Eq. 2's compound sums. Snapshot via
+/// [`HistoryRecorder::stats`]; merged across shards by the harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistoryStats {
+    /// Total `rate` queries (all scopes).
+    pub queries: u64,
+    /// Queries against a `Language` or `Global` scope (the compound
+    /// sums the memoization exists for).
+    pub scope_queries: u64,
+    /// Scope queries answered from the `(now, generation)` memo cell
+    /// without touching any member.
+    pub scope_hits: u64,
+    /// Member scans performed (scope queries that missed the memo).
+    pub scans: u64,
+    /// Fitted rate terms actually computed (one division each): active
+    /// members visited by scans plus nonzero `Function`-scope answers.
+    pub terms_computed: u64,
+}
+
+impl HistoryStats {
+    /// Accumulates another shard's counters into this one.
+    pub fn merge(&mut self, other: &HistoryStats) {
+        self.queries += other.queries;
+        self.scope_queries += other.scope_queries;
+        self.scope_hits += other.scope_hits;
+        self.scans += other.scans;
+        self.terms_computed += other.terms_computed;
     }
+}
+
+/// Memo cell for one sharing scope: the compound rate last computed at
+/// `now_us` under arrival-generation `gen`.
+#[derive(Debug, Clone, Copy)]
+struct ScopeCache {
+    now_us: u64,
+    gen: u64,
+    rate: f64,
+}
+
+impl ScopeCache {
+    /// Never matches: generations count up from 0 and `now` stamps are
+    /// compared alongside, so `u64::MAX` marks "nothing cached yet".
+    const EMPTY: ScopeCache = ScopeCache {
+        now_us: u64::MAX,
+        gen: u64::MAX,
+        rate: 0.0,
+    };
 }
 
 /// Sharing-aware invocation history recorder (§5.1).
@@ -199,8 +278,45 @@ fn lang_idx(language: Language) -> usize {
 pub struct HistoryRecorder {
     window: usize,
     functions: Vec<FunctionHistory>,
-    /// Function ids per language (the Lang sharing sets).
+    /// Function indices per language (the Lang sharing sets), ascending.
     lang_groups: [Vec<usize>; 3],
+    /// Flat arrival-window ring storage: function `i` owns micro-second
+    /// stamps `ring[i*window .. (i+1)*window]`, a circular buffer whose
+    /// stalest live entry sits at `ring_head[i]`.
+    ring: Vec<u64>,
+    ring_head: Vec<u32>,
+    /// Live entries in each function's ring; grows to `window`, never
+    /// shrinks — which is what makes "has ≥ 2 arrivals" monotone.
+    win_len: Vec<u32>,
+    /// Dense mirror of each function's stalest arrival stamp, so scans
+    /// touch two flat arrays instead of indexing into the ring.
+    win_oldest: Vec<u64>,
+    /// `Language::index()` per function.
+    lang_of: Vec<u8>,
+    /// Arrival generation per function / per language scope / global:
+    /// bumped on every `record_arrival`, stamped into memo cells.
+    fn_gen: Vec<u64>,
+    lang_gen: [u64; 3],
+    global_gen: u64,
+    /// Members with ≥ 2 windowed arrivals (nonzero fitted rate),
+    /// ascending — the only functions a scan must visit.
+    lang_active: [Vec<u32>; 3],
+    global_active: Vec<u32>,
+    /// Scope memo cells. `Cell` keeps `rate` an `&self` query; the
+    /// recorder is never shared across threads (each shard builds its
+    /// own policy).
+    lang_cache: [Cell<ScopeCache>; 3],
+    global_cache: Cell<ScopeCache>,
+    stats: StatCells,
+}
+
+#[derive(Debug, Clone, Default)]
+struct StatCells {
+    queries: Cell<u64>,
+    scope_queries: Cell<u64>,
+    scope_hits: Cell<u64>,
+    scans: Cell<u64>,
+    terms_computed: Cell<u64>,
 }
 
 impl HistoryRecorder {
@@ -214,16 +330,34 @@ impl HistoryRecorder {
         if window == 0 {
             return Err(ConfigError::new("history window must be >= 1"));
         }
+        let n = catalog.len();
         let mut lang_groups: [Vec<usize>; 3] = Default::default();
+        let mut lang_of = vec![0u8; n];
         for p in catalog.iter() {
-            lang_groups[lang_idx(p.language)].push(p.id.index());
+            lang_groups[p.language.index()].push(p.id.index());
+            lang_of[p.id.index()] = p.language.index() as u8;
         }
         Ok(HistoryRecorder {
             window,
-            functions: (0..catalog.len())
-                .map(|_| FunctionHistory::new(window))
-                .collect(),
+            functions: (0..n).map(|_| FunctionHistory::new(window)).collect(),
             lang_groups,
+            ring: vec![0; n * window],
+            ring_head: vec![0; n],
+            win_len: vec![0; n],
+            win_oldest: vec![0; n],
+            lang_of,
+            fn_gen: vec![0; n],
+            lang_gen: [0; 3],
+            global_gen: 0,
+            lang_active: Default::default(),
+            global_active: Vec::new(),
+            lang_cache: [
+                Cell::new(ScopeCache::EMPTY),
+                Cell::new(ScopeCache::EMPTY),
+                Cell::new(ScopeCache::EMPTY),
+            ],
+            global_cache: Cell::new(ScopeCache::EMPTY),
+            stats: StatCells::default(),
         })
     }
 
@@ -242,6 +376,17 @@ impl HistoryRecorder {
         self.functions.is_empty()
     }
 
+    /// Snapshot of the query counters accumulated so far.
+    pub fn stats(&self) -> HistoryStats {
+        HistoryStats {
+            queries: self.stats.queries.get(),
+            scope_queries: self.stats.scope_queries.get(),
+            scope_hits: self.stats.scope_hits.get(),
+            scans: self.stats.scans.get(),
+            terms_computed: self.stats.terms_computed.get(),
+        }
+    }
+
     /// Records an invocation arrival for `f` at time `now` (sliding the
     /// Eq. 5 window).
     ///
@@ -249,11 +394,41 @@ impl HistoryRecorder {
     ///
     /// Panics if `f` is not in the catalog the recorder was built from.
     pub fn record_arrival(&mut self, f: FunctionId, now: Instant) {
-        let h = &mut self.functions[f.index()];
-        if h.arrivals.len() == self.window {
-            h.arrivals.pop_front();
+        let i = f.index();
+        let w = self.window;
+        let base = i * w;
+        let head = self.ring_head[i] as usize;
+        let len = self.win_len[i] as usize;
+        if len == w {
+            // Full window: overwrite the stalest slot and advance.
+            self.ring[base + head] = now.as_micros();
+            let next = head + 1;
+            self.ring_head[i] = if next == w { 0 } else { next as u32 };
+        } else {
+            self.ring[base + (head + len) % w] = now.as_micros();
+            self.win_len[i] = (len + 1) as u32;
+            if len + 1 == 2 {
+                self.activate(i);
+            }
         }
-        h.arrivals.push_back(now);
+        self.win_oldest[i] = self.ring[base + self.ring_head[i] as usize];
+        self.fn_gen[i] += 1;
+        self.lang_gen[self.lang_of[i] as usize] += 1;
+        self.global_gen += 1;
+    }
+
+    /// Marks function `i` as having a nonzero fitted rate from now on,
+    /// inserting it into its scope's active lists in ascending order
+    /// (scans must visit members in naive-scan order for bit-equality).
+    fn activate(&mut self, i: usize) {
+        let idx = i as u32;
+        let lang = &mut self.lang_active[self.lang_of[i] as usize];
+        if let Err(pos) = lang.binary_search(&idx) {
+            lang.insert(pos, idx);
+        }
+        if let Err(pos) = self.global_active.binary_search(&idx) {
+            self.global_active.insert(pos, idx);
+        }
     }
 
     /// Records an observed (startup latency, idle memory) sample for a
@@ -270,24 +445,131 @@ impl HistoryRecorder {
         h.memory[layer_idx(layer)].push(memory.as_mb() as f64);
     }
 
+    /// One function's fitted rate straight off the ring, with no cache
+    /// involvement: `λ_f = n / (now − j′)`, 0 until two arrivals.
+    fn raw_rate(&self, i: usize, now: Instant) -> f64 {
+        let len = self.win_len[i];
+        if len < 2 {
+            return 0.0;
+        }
+        let oldest = Instant::from_micros(self.ring[i * self.window + self.ring_head[i] as usize]);
+        let span = now.duration_since(oldest).max(Micros::from_micros(1));
+        len as f64 / span.as_secs_f64()
+    }
+
+    /// One function's fitted rate off the dense `win_len`/`win_oldest`
+    /// mirrors — two flat loads and a division, no per-function state
+    /// touched. Bit-identical to [`Self::raw_rate`].
+    fn term(&self, i: usize, now_us: u64) -> f64 {
+        let len = self.win_len[i];
+        if len < 2 {
+            return 0.0;
+        }
+        let span_us = now_us.saturating_sub(self.win_oldest[i]).max(1);
+        len as f64 / (span_us as f64 / 1e6)
+    }
+
+    /// Answers one compound-scope query through its memo cell, scanning
+    /// only the active members on a miss. `group_len` is the scope's
+    /// static member count: `f64::sum` folds from `-0.0`, so an empty
+    /// group sums to `-0.0` while a non-empty group of all-zero terms
+    /// sums to `+0.0` — the accumulator seed reproduces both (adding
+    /// any term to either zero gives the same bits thereafter).
+    fn scope_rate(
+        &self,
+        cache: &Cell<ScopeCache>,
+        gen: u64,
+        members: &[u32],
+        group_len: usize,
+        now: Instant,
+    ) -> f64 {
+        self.stats
+            .scope_queries
+            .set(self.stats.scope_queries.get() + 1);
+        let now_us = now.as_micros();
+        let cached = cache.get();
+        if cached.now_us == now_us && cached.gen == gen {
+            self.stats.scope_hits.set(self.stats.scope_hits.get() + 1);
+            return cached.rate;
+        }
+        self.stats.scans.set(self.stats.scans.get() + 1);
+        // Every active member has >= 2 arrivals, so the scan performs
+        // exactly `members.len()` term fits — counted once out here so
+        // the inner loop stays free of `Cell` traffic.
+        self.stats
+            .terms_computed
+            .set(self.stats.terms_computed.get() + members.len() as u64);
+        let mut sum = if group_len == 0 { -0.0 } else { 0.0 };
+        for &i in members {
+            sum += self.term(i as usize, now_us);
+        }
+        cache.set(ScopeCache {
+            now_us,
+            gen,
+            rate: sum,
+        });
+        sum
+    }
+
     /// The fitted per-second rate `λ_f` for one function as of `now`
     /// (0 until two arrivals are in the window). The rate decays while
     /// the function stays silent, because the fit divides the window
     /// size by the age of its stalest arrival.
     pub fn function_rate(&self, f: FunctionId, now: Instant) -> f64 {
-        self.functions[f.index()].rate_at(now)
+        let i = f.index();
+        self.stats
+            .terms_computed
+            .set(self.stats.terms_computed.get() + u64::from(self.win_len[i] >= 2));
+        self.term(i, now.as_micros())
     }
 
     /// The compound per-second rate `λ^(k)` for a sharing scope as of
-    /// `now` (Eq. 2).
+    /// `now` (Eq. 2). Amortized O(1): see the module docs for the
+    /// memoization scheme and the bit-exactness argument.
     pub fn rate(&self, scope: ShareScope, now: Instant) -> f64 {
-        match scope {
+        self.stats.queries.set(self.stats.queries.get() + 1);
+        let rate = match scope {
             ShareScope::Function(f) => self.function_rate(f, now),
-            ShareScope::Language(l) => self.lang_groups[lang_idx(l)]
+            ShareScope::Language(l) => {
+                let li = l.index();
+                self.scope_rate(
+                    &self.lang_cache[li],
+                    self.lang_gen[li],
+                    &self.lang_active[li],
+                    self.lang_groups[li].len(),
+                    now,
+                )
+            }
+            ShareScope::Global => self.scope_rate(
+                &self.global_cache,
+                self.global_gen,
+                &self.global_active,
+                self.functions.len(),
+                now,
+            ),
+        };
+        debug_assert!(
+            rate.to_bits() == self.rate_uncached(scope, now).to_bits(),
+            "cached rate diverged from naive scan for {scope:?} at {now:?}: \
+             cached {rate} vs naive {}",
+            self.rate_uncached(scope, now),
+        );
+        rate
+    }
+
+    /// The naive O(functions-in-scope) scan over the arrival rings —
+    /// the oracle the cached path must match bit-for-bit. Kept public
+    /// so property tests can drive both paths side by side.
+    pub fn rate_uncached(&self, scope: ShareScope, now: Instant) -> f64 {
+        match scope {
+            ShareScope::Function(f) => self.raw_rate(f.index(), now),
+            ShareScope::Language(l) => self.lang_groups[l.index()]
                 .iter()
-                .map(|&i| self.functions[i].rate_at(now))
+                .map(|&i| self.raw_rate(i, now))
                 .sum(),
-            ShareScope::Global => self.functions.iter().map(|h| h.rate_at(now)).sum(),
+            ShareScope::Global => (0..self.functions.len())
+                .map(|i| self.raw_rate(i, now))
+                .sum(),
         }
     }
 
@@ -322,8 +604,15 @@ mod tests {
 
     fn setup() -> (Catalog, HistoryRecorder) {
         let mut c = Catalog::new();
-        for lang in [Language::Python, Language::Python, Language::Java] {
-            c.push(FunctionProfile::synthetic(FunctionId::new(0), lang));
+        for (i, lang) in [Language::Python, Language::Python, Language::Java]
+            .into_iter()
+            .enumerate()
+        {
+            // Catalog::push reassigns the id to the insertion index; the
+            // fixture passes the matching id and asserts the contract so
+            // the tests below can't silently disagree with the catalog.
+            let id = c.push(FunctionProfile::synthetic(FunctionId::new(i as u32), lang));
+            assert_eq!(id, FunctionId::new(i as u32));
         }
         let r = HistoryRecorder::new(&c, 6).unwrap();
         (c, r)
@@ -495,6 +784,119 @@ mod tests {
     }
 
     #[test]
+    fn stat_window_sum_does_not_drift() {
+        // A huge early sample evicted from the window must not leave
+        // rounding residue behind: after 1M unit pushes the running mean
+        // must equal the freshly summed window exactly.
+        let mut w = StatWindow::new(6);
+        w.push(1e16);
+        for _ in 0..1_000_000 {
+            w.push(1.0);
+        }
+        let fresh: f64 = w.samples.iter().sum();
+        let fresh_mean = fresh / w.samples.len() as f64;
+        assert_eq!(w.mean(), Some(fresh_mean));
+        assert_eq!(w.mean(), Some(1.0));
+    }
+
+    #[test]
+    fn stat_window_mean_matches_fresh_sum_under_churn() {
+        // Varied magnitudes, long stream: the periodically recomputed
+        // running sum stays within one recompute period of the exact
+        // window sum (and lands exactly on it right after a recompute).
+        let mut w = StatWindow::new(4);
+        for i in 0..100_000u64 {
+            w.push(((i * 2_654_435_761) % 1_000_003) as f64 * 1e-3);
+        }
+        let fresh: f64 = w.samples.iter().sum();
+        let drift = (w.sum - fresh).abs();
+        assert!(drift <= 1e-9 * fresh.abs().max(1.0), "drift={drift}");
+    }
+
+    #[test]
+    fn cached_rate_matches_oracle_under_interleaving() {
+        let (_, mut r) = setup();
+        let scopes = [
+            ShareScope::Function(fid(0)),
+            ShareScope::Function(fid(2)),
+            ShareScope::Language(Language::Python),
+            ShareScope::Language(Language::Java),
+            ShareScope::Language(Language::NodeJs),
+            ShareScope::Global,
+        ];
+        let mut t = 0u64;
+        for step in 0..500u64 {
+            t += step % 7; // repeats the same `now` regularly
+            let now = Instant::from_micros(t);
+            if step % 3 != 2 {
+                r.record_arrival(fid((step % 3) as u32), now);
+            }
+            for scope in scopes {
+                let cached = r.rate(scope, now);
+                let naive = r.rate_uncached(scope, now);
+                assert_eq!(cached.to_bits(), naive.to_bits(), "{scope:?} at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn scope_memoization_hits_within_a_tick() {
+        let (_, mut r) = setup();
+        for i in 0..6u64 {
+            r.record_arrival(fid(0), at(i));
+            r.record_arrival(fid(1), at(i));
+        }
+        let now = at(10);
+        let scope = ShareScope::Language(Language::Python);
+        let first = r.rate(scope, now);
+        let before = r.stats();
+        let second = r.rate(scope, now);
+        let after = r.stats();
+        assert_eq!(first.to_bits(), second.to_bits());
+        assert_eq!(after.scope_hits, before.scope_hits + 1);
+        assert_eq!(after.scans, before.scans);
+        // A new arrival invalidates the memo; the next query scans again.
+        r.record_arrival(fid(0), now);
+        r.rate(scope, now);
+        assert_eq!(r.stats().scans, after.scans + 1);
+    }
+
+    #[test]
+    fn memo_hits_compute_no_terms() {
+        let (_, mut r) = setup();
+        for i in 0..6u64 {
+            r.record_arrival(fid(0), at(i));
+            r.record_arrival(fid(1), at(i));
+            r.record_arrival(fid(2), at(i));
+        }
+        let now = at(10);
+        // A Global scan fits every active member once...
+        r.rate(ShareScope::Global, now);
+        let before = r.stats().terms_computed;
+        // ...and answering the same scope again at the same tick is a
+        // pure memo hit: zero additional term fits.
+        r.rate(ShareScope::Global, now);
+        assert_eq!(r.stats().terms_computed, before);
+    }
+
+    #[test]
+    fn inactive_functions_never_scanned() {
+        let (_, mut r) = setup();
+        // Only fid(0) becomes active; fid(1)/fid(2) stay silent.
+        for i in 0..6u64 {
+            r.record_arrival(fid(0), at(i));
+        }
+        r.rate(ShareScope::Global, at(10));
+        let s = r.stats();
+        assert_eq!(s.scans, 1);
+        assert_eq!(s.terms_computed, 1);
+        // Single-arrival functions stay inactive too (rate still 0).
+        r.record_arrival(fid(2), at(10));
+        assert_eq!(r.rate(ShareScope::Language(Language::Java), at(11)), 0.0);
+        assert_eq!(r.stats().terms_computed, 1);
+    }
+
+    #[test]
     fn share_scope_for_layer() {
         let f = fid(1);
         assert_eq!(
@@ -508,6 +910,35 @@ mod tests {
         assert_eq!(
             ShareScope::for_layer(Layer::Bare, f, Language::Python),
             ShareScope::Global
+        );
+    }
+
+    #[test]
+    fn history_stats_merge_accumulates() {
+        let mut a = HistoryStats {
+            queries: 1,
+            scope_queries: 2,
+            scope_hits: 3,
+            scans: 4,
+            terms_computed: 5,
+        };
+        let b = HistoryStats {
+            queries: 10,
+            scope_queries: 20,
+            scope_hits: 30,
+            scans: 40,
+            terms_computed: 50,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            HistoryStats {
+                queries: 11,
+                scope_queries: 22,
+                scope_hits: 33,
+                scans: 44,
+                terms_computed: 55,
+            }
         );
     }
 }

@@ -8,6 +8,7 @@
 //! answers with decisions (TTLs, downgrade-vs-terminate, victim choice);
 //! the platform owns all mechanics.
 
+use crate::history::HistoryStats;
 use crate::mem::MemMb;
 use crate::profile::{Catalog, FunctionProfile};
 use crate::time::{Instant, Micros};
@@ -319,6 +320,14 @@ pub trait Policy {
     /// eviction); lets stateful policies clean internal maps.
     fn on_terminated(&mut self, ctx: &PolicyCtx<'_>, id: ContainerId) {
         let _ = (ctx, id);
+    }
+
+    /// History-recorder query counters, for policies that keep one
+    /// (RainbowCake). `None` — the default — means the policy answers
+    /// no rate queries; the harness reports the counters per shard and
+    /// merged, so the cost of Eq. 2's compound sums stays observable.
+    fn history_stats(&self) -> Option<HistoryStats> {
+        None
     }
 }
 

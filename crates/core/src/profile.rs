@@ -354,6 +354,23 @@ mod tests {
     }
 
     #[test]
+    fn push_assigns_dense_ids_ignoring_the_profiles_own() {
+        // `push` owns id assignment: whatever id the caller minted on
+        // the profile is overwritten with the insertion index, so test
+        // fixtures that pass a placeholder id can't end up with stored
+        // profiles disagreeing with their catalog slot.
+        let mut c = Catalog::new();
+        for (i, bogus) in [999u32, 0, 42].into_iter().enumerate() {
+            let id = c.push(FunctionProfile::synthetic(
+                FunctionId::new(bogus),
+                Language::Python,
+            ));
+            assert_eq!(id, FunctionId::new(i as u32));
+            assert_eq!(c.profile(id).id, id);
+        }
+    }
+
+    #[test]
     fn startup_monotone_in_layer_depth() {
         let p = FunctionProfile::synthetic(FunctionId::new(0), Language::Java);
         let cold = p.startup_from(None);

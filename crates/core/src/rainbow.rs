@@ -3,7 +3,7 @@
 
 use crate::cost::CostModel;
 use crate::error::ConfigError;
-use crate::history::{iat_with_numerator, HistoryRecorder, ShareScope};
+use crate::history::{iat_with_numerator, HistoryRecorder, HistoryStats, ShareScope};
 use crate::mem::MemMb;
 use crate::policy::{
     lru_victims, ArrivalResponse, ContainerView, Policy, PolicyCtx, ReuseClass, ReuseScope,
@@ -324,6 +324,10 @@ impl Policy for RainbowCake {
             lang: layered,
             bare: layered,
         }
+    }
+
+    fn history_stats(&self) -> Option<HistoryStats> {
+        Some(self.recorder.stats())
     }
 
     fn on_idle(&mut self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> Micros {

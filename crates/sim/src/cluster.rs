@@ -32,6 +32,7 @@ use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::thread;
 
+use rainbowcake_core::history::HistoryStats;
 use rainbowcake_core::policy::Policy;
 use rainbowcake_core::profile::Catalog;
 use rainbowcake_core::time::{Instant, Micros};
@@ -411,6 +412,21 @@ pub struct ShardedRun {
     /// CPU seconds the router thread consumed (same accounting as
     /// [`ShardedRun::shard_cpu_s`]).
     pub route_cpu_s: f64,
+    /// Per-shard history-recorder query counters
+    /// ([`Policy::history_stats`]); zeroed for policies without a
+    /// recorder.
+    pub shard_history: Vec<HistoryStats>,
+}
+
+impl ShardedRun {
+    /// History counters summed across shards.
+    pub fn history(&self) -> HistoryStats {
+        let mut total = HistoryStats::default();
+        for h in &self.shard_history {
+            total.merge(h);
+        }
+        total
+    }
 }
 
 /// Runs a cluster as a streaming sharded pipeline: the calling thread
@@ -461,6 +477,7 @@ pub fn run_cluster_streaming(
     let mut reports = Vec::with_capacity(workers);
     let mut shard_busy_s = vec![0.0f64; workers];
     let mut shard_cpu_s = vec![0.0f64; workers];
+    let mut shard_history = vec![HistoryStats::default(); workers];
     let mut route_s = 0.0f64;
     let mut route_cpu_s = 0.0f64;
     thread::scope(|s| {
@@ -482,7 +499,8 @@ pub fn run_cluster_streaming(
                 );
                 let busy = started.elapsed().as_secs_f64();
                 let cpu = thread_cpu_since(cpu_started).unwrap_or(busy);
-                (report, busy, cpu)
+                let history = policy.history_stats().unwrap_or_default();
+                (report, busy, cpu, history)
             }));
         }
         let route_started = std::time::Instant::now();
@@ -515,10 +533,11 @@ pub fn run_cluster_streaming(
         route_s = route_started.elapsed().as_secs_f64();
         route_cpu_s = thread_cpu_since(route_cpu_started).unwrap_or(route_s);
         for (w, handle) in handles.into_iter().enumerate() {
-            let (report, busy, cpu) = handle.join().expect("shard thread panicked");
+            let (report, busy, cpu, history) = handle.join().expect("shard thread panicked");
             reports.push(report);
             shard_busy_s[w] = busy;
             shard_cpu_s[w] = cpu;
+            shard_history[w] = history;
         }
     });
     ShardedRun {
@@ -531,6 +550,7 @@ pub fn run_cluster_streaming(
         shard_cpu_s,
         route_s,
         route_cpu_s,
+        shard_history,
     }
 }
 

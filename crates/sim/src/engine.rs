@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use rainbowcake_core::history::HistoryStats;
 use rainbowcake_core::lifecycle::LifecycleEvent;
 use rainbowcake_core::mem::MemMb;
 use rainbowcake_core::policy::{
@@ -102,6 +103,7 @@ pub fn run_streaming_with_profile(
     let mut engine = Engine::new(catalog, policy, config, horizon);
     let mut profile = EngineProfile::default();
     engine.run_streaming_loop(arrivals, Some(&mut profile));
+    profile.history = engine.policy.history_stats().unwrap_or_default();
     (engine.finish(), profile)
 }
 
@@ -125,6 +127,9 @@ pub struct EngineProfile {
     pub counts: [u64; 5],
     /// Total handler wall-clock nanoseconds, same indexing.
     pub nanos: [u64; 5],
+    /// History-recorder query counters, if the policy keeps a recorder
+    /// ([`Policy::history_stats`]); zeroed otherwise.
+    pub history: HistoryStats,
 }
 
 impl EngineProfile {
@@ -143,6 +148,7 @@ impl EngineProfile {
             self.counts[i] += other.counts[i];
             self.nanos[i] += other.nanos[i];
         }
+        self.history.merge(&other.history);
     }
 
     /// Total events across all kinds.
@@ -167,6 +173,7 @@ pub fn run_with_profile(
     }
     let mut profile = EngineProfile::default();
     engine.run_tick_batched(Some(&mut profile));
+    profile.history = engine.policy.history_stats().unwrap_or_default();
     (engine.finish(), profile)
 }
 
@@ -749,10 +756,16 @@ impl<'a> Engine<'a> {
         startup: Micros,
     ) -> bool {
         let target_mem = profile.memory_at(Layer::User);
-        let (idle_since, current_mem) = {
-            let c = self.pool.get(id).expect("reuse target exists");
-            (c.idle_since, c.memory)
+        // A cheaper placement tried before this one may have failed
+        // *after* evicting idle containers to make room — and the
+        // victim set can include this candidate (only the failing
+        // option's own target is excluded from eviction). A vanished
+        // candidate is just a failed option; the loop moves on to the
+        // next-cheapest placement.
+        let Some(c) = self.pool.get(id) else {
+            return false;
         };
+        let (idle_since, current_mem) = (c.idle_since, c.memory);
         if target_mem > current_mem {
             let delta = target_mem - current_mem;
             if !self.ensure_memory(delta, Some(id)) {

@@ -189,8 +189,8 @@ impl Wheel {
         lvl.occupied |= 1 << slot;
     }
 
-    fn pop(&mut self) -> Option<Event> {
-        if self.advance_to_head() {
+    fn pop(&mut self, stamps: &[Stamp], len: &mut usize) -> Option<Event> {
+        if self.advance_to_head(stamps, len) {
             self.current.pop_front()
         } else {
             None
@@ -202,7 +202,14 @@ impl Wheel {
     /// pending; on `true`, `current` is non-empty and holds the head
     /// tick. This is `pop` without the removal, shared by `pop` and
     /// [`EventQueue::peek_time`].
-    fn advance_to_head(&mut self) -> bool {
+    ///
+    /// Events the stamp table already proves stale are dropped right
+    /// here (decrementing `len`) instead of being cascaded onward: a
+    /// reused container's abandoned minutes-out `IdleTimeout` would
+    /// otherwise ride the cascade through every finer level just to be
+    /// discarded at the head. Dropping earlier than `pop` would is
+    /// unobservable — stamps never un-stale an event.
+    fn advance_to_head(&mut self, stamps: &[Stamp], len: &mut usize) -> bool {
         loop {
             if !self.current.is_empty() {
                 return true;
@@ -211,7 +218,7 @@ impl Wheel {
                 return false;
             };
             let slot = self.levels[level].occupied.trailing_zeros();
-            let drained = {
+            let mut drained = {
                 let lvl = &mut self.levels[level];
                 lvl.occupied &= !(1 << slot);
                 std::mem::take(&mut lvl.slots[slot as usize])
@@ -223,7 +230,11 @@ impl Wheel {
                 // a slot events are already pushed in ascending seq, so
                 // this sort is a (cheap, already-sorted) safety net.
                 self.cursor = (self.cursor & !(SLOTS as u64 - 1)) | slot as u64;
-                let mut drained = drained;
+                drained.retain(|e| {
+                    let keep = !stale(stamps, e);
+                    *len -= usize::from(!keep);
+                    keep
+                });
                 drained.sort_unstable_by_key(|e| e.seq);
                 self.current.extend(drained);
             } else {
@@ -234,7 +245,11 @@ impl Wheel {
                     .map_or(u64::MAX, |v| v - 1);
                 self.cursor = (self.cursor & !low_mask) | ((slot as u64) << shift);
                 for event in drained {
-                    self.push(event);
+                    if stale(stamps, &event) {
+                        *len -= 1;
+                    } else {
+                        self.push(event);
+                    }
                 }
             }
         }
@@ -383,7 +398,7 @@ impl EventQueue {
         } = self;
         match backend {
             Backend::Wheel(w) => loop {
-                if !w.advance_to_head() {
+                if !w.advance_to_head(stamps, len) {
                     return None;
                 }
                 let event = *w.current.front().expect("advance_to_head returned true");
@@ -437,24 +452,24 @@ impl EventQueue {
         self.note(container, u64::MAX);
     }
 
-    /// Whether the stamp table proves this event would be ignored by
-    /// its handler (container slot re-occupied, or epoch superseded).
-    fn is_stale(&self, event: &Event) -> bool {
-        stale(&self.stamps, event)
-    }
-
     /// Pops the earliest live event (FIFO among equal timestamps).
     /// Events proven stale by the generation stamps are discarded
     /// silently; skipping them is unobservable because their handlers
     /// would be no-ops.
     pub fn pop(&mut self) -> Option<Event> {
+        let EventQueue {
+            backend,
+            len,
+            stamps,
+            ..
+        } = self;
         loop {
-            let event = match &mut self.backend {
-                Backend::Wheel(w) => w.pop(),
+            let event = match backend {
+                Backend::Wheel(w) => w.pop(stamps, len),
                 Backend::Heap(h) => h.pop(),
             }?;
-            self.len -= 1;
-            if self.is_stale(&event) {
+            *len -= 1;
+            if stale(stamps, &event) {
                 continue;
             }
             return Some(event);
@@ -512,8 +527,10 @@ impl EventQueue {
         Some(tick)
     }
 
-    /// Number of pending events (stale events still count until they
-    /// are discarded by `pop`).
+    /// Number of pending events. Stale events count until the backend
+    /// discards them — at `pop` on the heap, but possibly earlier on
+    /// the wheel (mid-cascade), so the two backends may disagree on
+    /// `len` while agreeing exactly on every popped event.
     pub fn len(&self) -> usize {
         self.len
     }
