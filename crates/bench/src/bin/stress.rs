@@ -1,8 +1,8 @@
 //! Million-invocation stress run: drives a large synthesized
 //! multi-worker trace through all six §7.1 policies and records engine
 //! throughput plus per-policy peak-memory growth into the
-//! `BENCH_<seq>.json` artifact series (schema `rainbowcake-stress/4`;
-//! `/1`–`/3` artifacts are still readable as perf baselines).
+//! `BENCH_<seq>.json` artifact series (schema `rainbowcake-stress/5`;
+//! `/1`–`/4` artifacts are still readable as perf baselines).
 //!
 //! Schema `/4` additions: every policy row carries the History
 //! Recorder's query counters (`history`: rate queries, compound-scope
@@ -11,6 +11,14 @@
 //! `streaming` point that re-runs RainbowCake on a trace scaled past
 //! 10^8 invocations to prove the streaming pipeline's memory stays
 //! flat (bounded by channel depth, not trace length) at full speed.
+//!
+//! Schema `/5` additions: the artifact records the timer mode
+//! (`timer_mode`: `"lazy"` — the default single-terminal-timer ladder
+//! schedule — or `"eager"` under `--eager-timers`, the per-rung chain),
+//! and every policy row carries `events` (total engine events
+//! dispatched, counted by the shards with zero clock reads) and
+//! `events_per_invocation` — the timer-pressure figure the lazy
+//! downgrade path exists to shrink.
 //!
 //! The trace is never materialized: each policy run consumes the
 //! Azure-like workload from its compact per-minute series through
@@ -33,6 +41,10 @@
 //!   `BENCH_<seq>.json` series stays full-suite comparable;
 //! * `--profile` — per-event-kind dispatch breakdown through the
 //!   profiled materialized pipeline (skips the artifact write);
+//! * `--eager-timers` — run with the eager per-rung downgrade timer
+//!   chain instead of the default lazy terminal-timer schedule; the
+//!   reports are byte-identical, only event counts and throughput move
+//!   (`--smoke` asserts the cross-mode identity explicitly);
 //! * `--identity` — assert the sharded streaming report is
 //!   byte-identical to the sequential materialized pipeline on the full
 //!   configured trace, then exit;
@@ -63,7 +75,7 @@ use rainbowcake_metrics::RunReport;
 use rainbowcake_sim::cluster::{
     route_trace, run_cluster, run_cluster_streaming, LocalitySharingLoad, ShardedRun,
 };
-use rainbowcake_sim::{run, run_with_profile, EngineProfile, SimConfig};
+use rainbowcake_sim::{run, run_with_profile, EngineProfile, SimConfig, TimerMode};
 use rainbowcake_trace::azure::{azure_like_stream, azure_like_trace, AzureConfig, AzureStream};
 use rainbowcake_trace::Trace;
 use rainbowcake_workloads::paper_catalog;
@@ -191,9 +203,11 @@ fn run_policy_profiled(
 fn print_profile(name: &str, profile: &EngineProfile) {
     let total_ns: u64 = profile.nanos.iter().sum();
     println!(
-        "  profile {name}: {} events dispatched in {:.3} s of handler time",
+        "  profile {name}: {} events dispatched in {:.3} s of handler time \
+         ({:.2} events/invocation)",
         profile.total_events(),
-        total_ns as f64 / 1e9
+        total_ns as f64 / 1e9,
+        profile.events_per_invocation()
     );
     for (i, kind) in EngineProfile::KIND_NAMES.iter().enumerate() {
         let share = if total_ns > 0 {
@@ -221,7 +235,7 @@ fn baseline_events_per_s(dir: &str) -> Option<(String, Vec<(String, f64)>)> {
             continue;
         };
         let known_schema =
-            (1..=4).any(|v| text.contains(&format!("\"schema\":\"rainbowcake-stress/{v}\"")));
+            (1..=5).any(|v| text.contains(&format!("\"schema\":\"rainbowcake-stress/{v}\"")));
         if !known_schema {
             continue;
         }
@@ -260,7 +274,7 @@ const PERF_FLOOR_RATIO: f64 = 0.6;
 fn perf_smoke(shards: usize) {
     let dir = std::env::var("PERF_BASELINE_DIR").unwrap_or_else(|_| ".".to_string());
     let Some((path, baseline)) = baseline_events_per_s(&dir) else {
-        println!("perf smoke: no rainbowcake-stress/{{1..4}} artifact found, skipping");
+        println!("perf smoke: no rainbowcake-stress/{{1..5}} artifact found, skipping");
         return;
     };
     if cfg!(debug_assertions) {
@@ -280,6 +294,7 @@ fn perf_smoke(shards: usize) {
     );
     let config = SimConfig {
         streaming_metrics: true,
+        timer_mode: timer_mode_flag(),
         ..SimConfig::default()
     };
     let mut violations = Vec::new();
@@ -331,6 +346,7 @@ fn long_stream_smoke(hours: u64, shards: usize) {
     );
     let config = SimConfig {
         streaming_metrics: true,
+        timer_mode: timer_mode_flag(),
         ..SimConfig::default()
     };
     let before_kb = peak_rss_kb();
@@ -367,6 +383,7 @@ fn smoke(profiling: bool, shards: usize) {
     let subs = route_trace(&catalog, &trace, DEFAULT_SHARDS, &mut router);
     let config = SimConfig {
         streaming_metrics: true,
+        timer_mode: timer_mode_flag(),
         ..SimConfig::default()
     };
     let per_event = SimConfig {
@@ -422,9 +439,38 @@ fn smoke(profiling: bool, shards: usize) {
                 "{name}: {n}-shard streaming cluster diverged from sequential"
             );
         }
+        // The lazy terminal-timer schedule and the eager per-rung chain
+        // must agree byte-for-byte through the very pipeline the stress
+        // artifact measures — and lazy must never dispatch more events.
+        let lazy_cfg = SimConfig {
+            timer_mode: TimerMode::Lazy,
+            ..config.clone()
+        };
+        let eager_cfg = SimConfig {
+            timer_mode: TimerMode::Eager,
+            ..config.clone()
+        };
+        let lazy_run = run_policy_sharded(&catalog, name, &stream, shards, &lazy_cfg);
+        let eager_run = run_policy_sharded(&catalog, name, &stream, shards, &eager_cfg);
+        assert_eq!(
+            lazy_run.report.to_json(),
+            eager_run.report.to_json(),
+            "{name}: lazy timer schedule diverged from the eager chain"
+        );
+        let (lazy_epi, eager_epi) = (
+            lazy_run.profile().events_per_invocation(),
+            eager_run.profile().events_per_invocation(),
+        );
+        assert!(
+            lazy_run.profile().total_events() <= eager_run.profile().total_events(),
+            "{name}: lazy timers dispatched more events ({} > {})",
+            lazy_run.profile().total_events(),
+            eager_run.profile().total_events(),
+        );
         println!(
             "smoke {name}: {completed} invocations; parallel, per-event, profiled \
-             and sharded ({counts:?}) dispatch all byte-identical"
+             and sharded ({counts:?}) dispatch all byte-identical; \
+             lazy {lazy_epi:.2} vs eager {eager_epi:.2} events/invocation"
         );
         if profiling {
             print_profile(name, &profile);
@@ -439,6 +485,7 @@ fn smoke(profiling: bool, shards: usize) {
 fn identity(catalog: &Catalog, selected: &[&str], stream: &AzureStream, shards: usize) {
     let config = SimConfig {
         streaming_metrics: true,
+        timer_mode: timer_mode_flag(),
         ..SimConfig::default()
     };
     for name in selected {
@@ -500,6 +547,17 @@ fn policy_filter() -> Vec<&'static str> {
     }
 }
 
+/// The timer mode selected on the command line: lazy (the default
+/// single-terminal-timer ladder schedule) or the eager per-rung chain
+/// under `--eager-timers`.
+fn timer_mode_flag() -> TimerMode {
+    if std::env::args().any(|a| a == "--eager-timers") {
+        TimerMode::Eager
+    } else {
+        TimerMode::Lazy
+    }
+}
+
 /// Parses `--<flag> <v>` / `--<flag>=<v>` as a number, or `default`.
 ///
 /// # Panics
@@ -538,6 +596,12 @@ struct PolicyRow {
     /// History Recorder query counters summed across shards (all zero
     /// for policies without a recorder).
     history: HistoryStats,
+    /// Total engine events dispatched across shards, counted by the
+    /// shard hot loops without any clock reads.
+    events: u64,
+    /// `events / completed` — the timer-pressure figure of merit the
+    /// lazy ladder schedule exists to shrink.
+    events_per_invocation: f64,
 }
 
 /// The `history` sub-object of a policy row / profile line.
@@ -555,7 +619,8 @@ impl PolicyRow {
         format!(
             "{{\"name\":{},\"completed\":{},\"cold_starts\":{},\"wall_s\":{},\
              \"events_per_s\":{},\"calibrated_events_per_s\":{},\"route_s\":{},\
-             \"merge_s\":{},\"shard_cpu_s\":[{}],\"rss_delta_kb\":{},\"history\":{}}}",
+             \"merge_s\":{},\"shard_cpu_s\":[{}],\"rss_delta_kb\":{},\"history\":{},\
+             \"events\":{},\"events_per_invocation\":{}}}",
             escape_str(self.name),
             self.completed,
             self.cold,
@@ -567,6 +632,8 @@ impl PolicyRow {
             cpus.join(","),
             self.rss_delta_kb,
             history_json(&self.history),
+            self.events,
+            fmt_f64(self.events_per_invocation),
         )
     }
 }
@@ -608,6 +675,7 @@ fn measure_policy(
         .copied()
         .fold(sharded.route_cpu_s, f64::max);
     let history = sharded.history();
+    let profile = sharded.profile();
     PolicyRow {
         name,
         completed,
@@ -620,6 +688,8 @@ fn measure_policy(
         shard_cpu_s: sharded.shard_cpu_s,
         rss_delta_kb,
         history,
+        events: profile.total_events(),
+        events_per_invocation: profile.events_per_invocation(),
     }
 }
 
@@ -660,9 +730,13 @@ fn main() {
         identity(&catalog, &selected, &stream, shards);
         return;
     }
-    println!("stress: {total} invocations, streaming across {shards} shards ...");
+    let timers = timer_mode_flag();
+    println!(
+        "stress: {total} invocations, streaming across {shards} shards ({timers:?} timers) ..."
+    );
     let config = SimConfig {
         streaming_metrics: true,
+        timer_mode: timers,
         ..SimConfig::default()
     };
 
@@ -699,12 +773,15 @@ fn main() {
         );
         println!(
             "  {name}: {} invocations in {:.2} s ({:.0} inv/s wall, {:.0} inv/s \
-             calibrated), {} cold starts, route {:.2} s, merge {:.3} s, +{} kB peak RSS",
+             calibrated), {} cold starts, {} events ({:.2}/inv), route {:.2} s, \
+             merge {:.3} s, +{} kB peak RSS",
             row.completed,
             row.wall_s,
             row.events_per_s,
             row.calibrated_events_per_s,
             row.cold,
+            row.events,
+            row.events_per_invocation,
             row.route_s,
             row.merge_s,
             row.rss_delta_kb
@@ -814,12 +891,16 @@ fn main() {
 
     let row_json: Vec<String> = rows.iter().map(|r| r.to_json()).collect();
     let json = format!(
-        "{{\"schema\":\"rainbowcake-stress/4\",\"shards\":{shards},\
-         \"hours\":{},\"rate_scale\":{},\
+        "{{\"schema\":\"rainbowcake-stress/5\",\"shards\":{shards},\
+         \"hours\":{},\"rate_scale\":{},\"timer_mode\":\"{}\",\
          \"invocations\":{total},\"router\":\"Locality+Sharing+Load\",\
          \"peak_rss_kb\":{}{scaling},\"policies\":[{}]}}\n",
         azure.hours,
         fmt_f64(azure.rate_scale),
+        match timers {
+            TimerMode::Lazy => "lazy",
+            TimerMode::Eager => "eager",
+        },
         peak_rss_kb(),
         row_json.join(","),
     );

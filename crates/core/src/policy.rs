@@ -160,6 +160,62 @@ impl ArrivalResponse {
     }
 }
 
+/// A container's full layer-wise keep-alive schedule, fixed at the
+/// moment it goes idle: `ttls[i]` is the keep-alive window the container
+/// spends at its `i`-th rung (rung 0 is the layer it went idle at, each
+/// subsequent rung one [`Layer::downgrade`] step down), and `rungs` is
+/// how many entries are meaningful (1..=3). After the last rung's window
+/// elapses the container terminates.
+///
+/// A ladder lets the platform schedule **one** terminal timer per idle
+/// period instead of one per layer, deriving every intermediate
+/// downgrade instant (`idle_since + ttls[0] + … + ttls[i]`) on demand.
+/// A `Micros::MAX` rung never expires: the container parks at that rung
+/// until reused or evicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TtlLadder {
+    /// Per-rung keep-alive windows, top layer first.
+    pub ttls: [Micros; 3],
+    /// Number of meaningful rungs in `ttls` (1..=3).
+    pub rungs: u8,
+}
+
+impl TtlLadder {
+    /// A single-rung ladder: keep alive for `ttl`, then terminate
+    /// (classic whole-container keep-alive).
+    pub fn single(ttl: Micros) -> Self {
+        TtlLadder {
+            ttls: [ttl, Micros::MAX, Micros::MAX],
+            rungs: 1,
+        }
+    }
+
+    /// The instant rung `rung` expires for a container idle since
+    /// `idle_since`, or `None` if an earlier (or that) rung never
+    /// expires. Saturating: a sum overflowing the time domain counts as
+    /// never.
+    pub fn boundary(&self, idle_since: Instant, rung: u8) -> Option<Instant> {
+        let mut total = 0u64;
+        for i in 0..=rung.min(self.rungs.saturating_sub(1)) {
+            let t = self.ttls[i as usize].as_micros();
+            if t == u64::MAX {
+                return None;
+            }
+            total = total.checked_add(t)?;
+        }
+        idle_since
+            .as_micros()
+            .checked_add(total)
+            .map(Instant::from_micros)
+    }
+
+    /// The instant the final rung expires (the container's death), or
+    /// `None` if some rung never expires.
+    pub fn death(&self, idle_since: Instant) -> Option<Instant> {
+        self.boundary(idle_since, self.rungs.saturating_sub(1))
+    }
+}
+
 /// Decision when an idle container's keep-alive TTL expires (Alg. 2).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TimeoutDecision {
@@ -171,6 +227,12 @@ pub enum TimeoutDecision {
         /// Keep-alive window at the next layer down.
         ttl: Micros,
     },
+    /// Peel the top layer off and hand the platform the *entire*
+    /// remaining downgrade schedule at once: rung 0 of the ladder is the
+    /// layer below the current one. The platform applies the downgrade,
+    /// then drives the rest of the idle period from the ladder with a
+    /// single terminal timer.
+    Ladder(TtlLadder),
     /// Keep the container at `User` but install the packages of
     /// `extra_functions` so they can reuse it warm (container sharing à
     /// la Pagurus); keep alive for `ttl`. The platform inflates the
@@ -247,6 +309,23 @@ pub trait Policy {
     /// execution, or after a pre-warm finishes). Returns the keep-alive
     /// TTL for the container's current layer.
     fn on_idle(&mut self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> Micros;
+
+    /// Layer-wise policies may expose the container's *entire*
+    /// keep-alive schedule the moment it goes idle: rung 0 of the
+    /// returned ladder is the current layer's TTL, each further rung the
+    /// next layer down. When this returns `Some`, the platform drives
+    /// the whole idle period from the ladder — one terminal timer
+    /// instead of a per-layer chain — and **does not call**
+    /// [`Policy::on_idle`] or [`Policy::on_timeout`] for it, so the
+    /// implementation must perform any bookkeeping those hooks would
+    /// have done (e.g. history observations) itself.
+    ///
+    /// The default `None` keeps the classic per-layer
+    /// `on_idle`/`on_timeout` protocol.
+    fn ttl_ladder(&mut self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> Option<TtlLadder> {
+        let _ = (ctx, c);
+        None
+    }
 
     /// Called when an idle container's TTL expires; decides between
     /// terminating, downgrading (layer-wise keep-alive), or re-packing.
@@ -561,6 +640,36 @@ mod tests {
         let bare = reuse_startup(&profile, ReuseClass::SharedBare, specialize, 0.3);
         assert!(warm < packed && packed < snap && snap < lang && lang < bare);
         assert!(bare < profile.cold_startup());
+    }
+
+    #[test]
+    fn ladder_boundaries_accumulate_and_saturate() {
+        let ladder = TtlLadder {
+            ttls: [
+                Micros::from_mins(5),
+                Micros::from_mins(3),
+                Micros::from_mins(2),
+            ],
+            rungs: 3,
+        };
+        let t0 = Instant::from_micros(1_000_000);
+        assert_eq!(ladder.boundary(t0, 0), Some(t0 + Micros::from_mins(5)));
+        assert_eq!(ladder.boundary(t0, 1), Some(t0 + Micros::from_mins(8)));
+        assert_eq!(ladder.boundary(t0, 2), Some(t0 + Micros::from_mins(10)));
+        assert_eq!(ladder.death(t0), Some(t0 + Micros::from_mins(10)));
+        // A rung that never expires makes that boundary (and the death)
+        // unreachable, but earlier boundaries stay exact.
+        let parked = TtlLadder {
+            ttls: [Micros::from_mins(5), Micros::MAX, Micros::MAX],
+            rungs: 3,
+        };
+        assert_eq!(parked.boundary(t0, 0), Some(t0 + Micros::from_mins(5)));
+        assert_eq!(parked.boundary(t0, 1), None);
+        assert_eq!(parked.death(t0), None);
+        // The single-rung constructor is the classic keep-alive shape.
+        let single = TtlLadder::single(Micros::from_mins(10));
+        assert_eq!(single.rungs, 1);
+        assert_eq!(single.death(t0), Some(t0 + Micros::from_mins(10)));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::history::{iat_with_numerator, HistoryRecorder, HistoryStats, ShareSco
 use crate::mem::MemMb;
 use crate::policy::{
     lru_victims, ArrivalResponse, ContainerView, Policy, PolicyCtx, ReuseClass, ReuseScope,
-    TimeoutDecision,
+    TimeoutDecision, TtlLadder,
 };
 use crate::profile::{Catalog, FunctionProfile};
 use crate::time::{Instant, Micros};
@@ -339,6 +339,55 @@ impl Policy for RainbowCake {
         self.ttl(profile, f, c.layer, ctx.now)
     }
 
+    /// The whole §4 keep-alive ladder in one shot, computed the moment
+    /// the container goes idle: rung 0 is the current layer's Eq. 7 TTL,
+    /// each further rung the next layer down (`NoLayers` stops at one
+    /// rung, mirroring its terminate-at-`User` timeout).
+    ///
+    /// Each rung is anchored exactly as the eager chain's `on_timeout`
+    /// would have anchored the downgraded view: the owner while the
+    /// layer keeps one, then the per-language anchor (`Lang` keeps its
+    /// language), then the first catalog function (`Bare` keeps
+    /// nothing). Under `NoSharing`'s fixed TTLs the ladder is identical
+    /// to the eager chain; under `Full`, lower rungs sample the sharing
+    /// history at the idle instant instead of at each (future) downgrade
+    /// instant — the one-timer design fixes the whole schedule up front.
+    ///
+    /// Replaces `on_idle` for platforms that take the ladder path, so it
+    /// performs the same Eq. 5 window observation itself.
+    fn ttl_ladder(&mut self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> Option<TtlLadder> {
+        let f0 = self.anchor_function(c);
+        let profile0 = ctx.profile(f0);
+        self.recorder
+            .record_observation(f0, c.layer, profile0.stages.install(c.layer), c.memory);
+        let mut ttls = [Micros::MAX; 3];
+        let mut rungs = 0u8;
+        let mut layer = c.layer;
+        loop {
+            let f = if layer == c.layer {
+                f0
+            } else if layer == Layer::Lang {
+                c.language
+                    .and_then(|lang| self.anchor_by_lang[lang.index()])
+                    .or(self.first_function)
+                    .unwrap_or(FunctionId::new(0))
+            } else {
+                self.first_function.unwrap_or(FunctionId::new(0))
+            };
+            let profile = if f == f0 { profile0 } else { ctx.profile(f) };
+            ttls[rungs as usize] = self.ttl(profile, f, layer, ctx.now);
+            rungs += 1;
+            if matches!(self.config.variant, RainbowVariant::NoLayers) {
+                break;
+            }
+            match layer.downgrade() {
+                Some(next) => layer = next,
+                None => break,
+            }
+        }
+        Some(TtlLadder { ttls, rungs })
+    }
+
     fn on_timeout(&mut self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> TimeoutDecision {
         if matches!(self.config.variant, RainbowVariant::NoLayers) {
             return TimeoutDecision::Terminate;
@@ -645,6 +694,76 @@ mod tests {
             TimeoutDecision::Downgrade { ttl } => assert_eq!(ttl, Micros::from_mins(3)),
             other => panic!("expected downgrade, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn no_sharing_ladder_is_the_fixed_ttl_chain() {
+        let c = catalog();
+        let cfg = RainbowConfig {
+            variant: RainbowVariant::no_sharing_default(),
+            ..RainbowConfig::default()
+        };
+        let mut p = RainbowCake::new(&c, cfg).unwrap();
+        let cx = ctx(&c, 0);
+        let f = FunctionId::new(0);
+        let user = view(Layer::User, Some(f), Some(Language::Python));
+        let ladder = p.ttl_ladder(&cx, &user).expect("rainbow always ladders");
+        assert_eq!(ladder.rungs, 3);
+        assert_eq!(
+            ladder.ttls,
+            [
+                Micros::from_mins(5),
+                Micros::from_mins(3),
+                Micros::from_mins(2)
+            ]
+        );
+        // From a Lang container only two rungs remain.
+        let lang = view(Layer::Lang, None, Some(Language::Python));
+        let ladder = p.ttl_ladder(&cx, &lang).unwrap();
+        assert_eq!(ladder.rungs, 2);
+        assert_eq!(ladder.ttls[0], Micros::from_mins(3));
+        assert_eq!(ladder.ttls[1], Micros::from_mins(2));
+    }
+
+    #[test]
+    fn no_layers_ladder_has_one_rung() {
+        let c = catalog();
+        let cfg = RainbowConfig {
+            variant: RainbowVariant::NoLayers,
+            ..RainbowConfig::default()
+        };
+        let mut p = RainbowCake::new(&c, cfg).unwrap();
+        let cx = ctx(&c, 0);
+        let user = view(
+            Layer::User,
+            Some(FunctionId::new(0)),
+            Some(Language::Python),
+        );
+        let ladder = p.ttl_ladder(&cx, &user).unwrap();
+        assert_eq!(ladder.rungs, 1);
+        assert!(ladder.ttls[0] < Micros::MAX);
+    }
+
+    #[test]
+    fn full_ladder_rung_zero_matches_on_idle() {
+        // The ladder's first rung must be exactly what the classic
+        // protocol's `on_idle` returns, including the Eq. 5 observation
+        // side effect (two identically-trained instances agree).
+        let c = catalog();
+        let mut laddered = RainbowCake::with_defaults(&c).unwrap();
+        let mut classic = RainbowCake::with_defaults(&c).unwrap();
+        let f = FunctionId::new(0);
+        train(&mut laddered, &c, f, 10, 6);
+        train(&mut classic, &c, f, 10, 6);
+        let cx = ctx(&c, 70);
+        let user = view(Layer::User, Some(f), Some(Language::Python));
+        let ladder = laddered.ttl_ladder(&cx, &user).unwrap();
+        assert_eq!(ladder.rungs, 3);
+        assert_eq!(ladder.ttls[0], classic.on_idle(&cx, &user));
+        // Lower rungs sample the anchor the eager chain would have used
+        // for the downgraded views (language anchor, then function 0).
+        assert!(ladder.ttls[1] > Micros::ZERO);
+        assert!(ladder.ttls[2] > Micros::ZERO);
     }
 
     #[test]

@@ -41,7 +41,7 @@ use rainbowcake_metrics::{RunReport, StreamingSummary, WasteTracker};
 use rainbowcake_trace::{Arrival, Trace};
 
 use crate::config::SimConfig;
-use crate::engine::{run, run_streaming};
+use crate::engine::{run, run_streaming_counted, EngineProfile};
 
 /// Identifies a worker node in the cluster.
 pub type WorkerId = usize;
@@ -416,6 +416,11 @@ pub struct ShardedRun {
     /// ([`Policy::history_stats`]); zeroed for policies without a
     /// recorder.
     pub shard_history: Vec<HistoryStats>,
+    /// Per-shard counts-only engine profiles
+    /// ([`crate::engine::run_streaming_counted`]): event counts per
+    /// kind and completed invocations, with handler timing left zero so
+    /// the shard hot loops stay free of clock reads.
+    pub shard_profiles: Vec<EngineProfile>,
 }
 
 impl ShardedRun {
@@ -427,12 +432,24 @@ impl ShardedRun {
         }
         total
     }
+
+    /// Counts-only engine profiles merged across shards — the source of
+    /// the pipeline's events-per-invocation figure.
+    pub fn profile(&self) -> EngineProfile {
+        let mut total = EngineProfile::counting();
+        for p in &self.shard_profiles {
+            total.merge(p);
+        }
+        total
+    }
 }
 
 /// Runs a cluster as a streaming sharded pipeline: the calling thread
 /// routes arrivals online (exactly like [`route_trace`]) and feeds each
 /// worker's subsequence over a bounded channel to a dedicated OS thread
-/// running that worker's engine via [`run_streaming`].
+/// running that worker's engine via [`run_streaming_counted`] (the
+/// counts-only profiled loop: identical behaviour to plain streaming,
+/// plus per-kind event counts with no clock reads).
 ///
 /// Compared to [`run_cluster`] this (a) executes the workers
 /// concurrently and (b) never materializes per-worker arrival vectors —
@@ -443,7 +460,7 @@ impl ShardedRun {
 /// * the router sees arrivals in the same order with the same views, so
 ///   the assignment is identical;
 /// * each worker receives its assigned subsequence in sorted order, and
-///   [`run_streaming`] on that stream is byte-identical to [`run`] on
+///   streaming execution on that stream is byte-identical to [`run`] on
 ///   the materialized sub-trace;
 /// * per-worker reports are collected by worker index, not completion
 ///   order, so the report (and any [`ClusterReport::merged`] reduction)
@@ -478,6 +495,7 @@ pub fn run_cluster_streaming(
     let mut shard_busy_s = vec![0.0f64; workers];
     let mut shard_cpu_s = vec![0.0f64; workers];
     let mut shard_history = vec![HistoryStats::default(); workers];
+    let mut shard_profiles = vec![EngineProfile::counting(); workers];
     let mut route_s = 0.0f64;
     let mut route_cpu_s = 0.0f64;
     thread::scope(|s| {
@@ -490,7 +508,7 @@ pub fn run_cluster_streaming(
                 let mut policy = make_policy();
                 let started = std::time::Instant::now();
                 let cpu_started = thread_cpu_s();
-                let report = run_streaming(
+                let (report, profile) = run_streaming_counted(
                     catalog,
                     policy.as_mut(),
                     rx.into_iter().flatten(),
@@ -500,7 +518,7 @@ pub fn run_cluster_streaming(
                 let busy = started.elapsed().as_secs_f64();
                 let cpu = thread_cpu_since(cpu_started).unwrap_or(busy);
                 let history = policy.history_stats().unwrap_or_default();
-                (report, busy, cpu, history)
+                (report, busy, cpu, history, profile)
             }));
         }
         let route_started = std::time::Instant::now();
@@ -533,11 +551,13 @@ pub fn run_cluster_streaming(
         route_s = route_started.elapsed().as_secs_f64();
         route_cpu_s = thread_cpu_since(route_cpu_started).unwrap_or(route_s);
         for (w, handle) in handles.into_iter().enumerate() {
-            let (report, busy, cpu, history) = handle.join().expect("shard thread panicked");
+            let (report, busy, cpu, history, profile) =
+                handle.join().expect("shard thread panicked");
             reports.push(report);
             shard_busy_s[w] = busy;
             shard_cpu_s[w] = cpu;
             shard_history[w] = history;
+            shard_profiles[w] = profile;
         }
     });
     ShardedRun {
@@ -551,6 +571,7 @@ pub fn run_cluster_streaming(
         route_s,
         route_cpu_s,
         shard_history,
+        shard_profiles,
     }
 }
 

@@ -21,6 +21,25 @@ pub enum DispatchMode {
     PerEvent,
 }
 
+/// How the engine turns a policy's [`TtlLadder`] into timer events.
+/// Both modes produce byte-identical simulations (the eager chain is
+/// the oracle `tests/event_core_identity.rs` pins the lazy path
+/// against); they differ only in event multiplicity.
+///
+/// [`TtlLadder`]: rainbowcake_core::policy::TtlLadder
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimerMode {
+    /// One terminal `IdleTimeout` per idle period at the ladder's final
+    /// expiry; intermediate downgrades are settled lazily from the
+    /// ladder at the next dispatched tick (the default).
+    #[default]
+    Lazy,
+    /// One `IdleTimeout` per ladder rung, re-armed as each fires — the
+    /// classic chain, kept as the behavioural reference (`stress
+    /// --eager-timers`).
+    Eager,
+}
+
 /// The checkpoint/restore extension (§7.8, CRIU through the Docker
 /// checkpoint API in the paper's prototype).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,6 +97,9 @@ pub struct SimConfig {
     /// Event dispatch strategy. Both modes produce identical
     /// simulations; per-event dispatch is kept as the reference.
     pub dispatch: DispatchMode,
+    /// How ladder keep-alive schedules become timer events. Both modes
+    /// produce identical simulations; the eager chain is the reference.
+    pub timer_mode: TimerMode,
     /// Aggregate invocation metrics on the fly (bounded memory) instead
     /// of keeping every record. Per-record outputs (fig binaries, JSON
     /// byte-identity) need the default exact path.
@@ -97,6 +119,7 @@ impl Default for SimConfig {
             checkpoint: None,
             event_queue: QueueKind::TimerWheel,
             dispatch: DispatchMode::TickBatched,
+            timer_mode: TimerMode::default(),
             streaming_metrics: false,
         }
     }

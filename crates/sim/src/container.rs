@@ -3,10 +3,79 @@
 
 use rainbowcake_core::lifecycle::{IllegalTransition, LifecycleEvent, LifecycleState};
 use rainbowcake_core::mem::MemMb;
-use rainbowcake_core::policy::ContainerView;
+use rainbowcake_core::policy::{ContainerView, TtlLadder};
 use rainbowcake_core::time::{Instant, Micros};
 use rainbowcake_core::types::{ContainerId, FunctionId, Language, Layer};
 use rainbowcake_metrics::StartType;
+
+/// An idle container's ladder keep-alive state: the schedule fixed by
+/// the policy when it went idle, plus how far down it the container has
+/// physically settled. Present only while the container sits in a
+/// ladder idle period; cleared on reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LadderState {
+    /// The full schedule the policy exposed at idle time.
+    pub ladder: TtlLadder,
+    /// When the idle period began (rung 0's start).
+    pub started: Instant,
+    /// The rung the container currently sits at (0-based). The current
+    /// rung began at `Container::idle_since` and expires at
+    /// `idle_since + ladder.ttls[rung]`.
+    pub rung: u8,
+}
+
+impl LadderState {
+    /// The instant the current rung expires, or `None` if it never does.
+    pub fn next_boundary(&self, idle_since: Instant) -> Option<Instant> {
+        let ttl = self.ladder.ttls[self.rung as usize];
+        if ttl == Micros::MAX {
+            return None;
+        }
+        idle_since
+            .as_micros()
+            .checked_add(ttl.as_micros())
+            .map(Instant::from_micros)
+    }
+
+    /// Whether the current rung is the last one (its expiry terminates
+    /// the container).
+    pub fn on_last_rung(&self) -> bool {
+        self.rung + 1 >= self.ladder.rungs
+    }
+
+    /// The oracle for lazy settlement: the (rung, rung-start) the eager
+    /// per-rung chain would have physically reached at instant `t`,
+    /// walking the schedule from the idle start. A downgrade at boundary
+    /// `b` becomes visible strictly *after* `b` (an observer at exactly
+    /// `b` still sees the pre-downgrade rung, matching the eager chain's
+    /// within-tick ordering). Returns `None` when the eager chain would
+    /// already have terminated the container.
+    pub fn effective_at(&self, t: Instant) -> Option<(u8, Instant)> {
+        let mut rung = 0u8;
+        let mut start = self.started;
+        loop {
+            let ttl = self.ladder.ttls[rung as usize];
+            if ttl == Micros::MAX {
+                return Some((rung, start));
+            }
+            let Some(end) = start
+                .as_micros()
+                .checked_add(ttl.as_micros())
+                .map(Instant::from_micros)
+            else {
+                return Some((rung, start));
+            };
+            if t <= end {
+                return Some((rung, start));
+            }
+            if rung + 1 >= self.ladder.rungs {
+                return None;
+            }
+            rung += 1;
+            start = end;
+        }
+    }
+}
 
 /// The invocation currently assigned to a container (waiting for its
 /// startup to finish, or executing).
@@ -55,6 +124,9 @@ pub struct Container {
     pub init_language: Option<Language>,
     /// The invocation bound to this container, if any.
     pub assigned: Option<AssignedInvocation>,
+    /// Ladder keep-alive state while in a ladder idle period (policies
+    /// exposing a [`TtlLadder`] at idle time); `None` otherwise.
+    pub ladder: Option<LadderState>,
 }
 
 impl Container {
@@ -82,6 +154,7 @@ impl Container {
             init_for: Some(for_function),
             init_language: language,
             assigned: None,
+            ladder: None,
         }
     }
 
@@ -147,6 +220,20 @@ impl Container {
     /// idle container is re-armed in place, e.g. re-packing).
     pub fn bump_epoch(&mut self) {
         self.epoch += 1;
+    }
+
+    /// Applies one ladder downgrade **without** bumping the epoch: the
+    /// single terminal timer armed when the container went idle must
+    /// stay valid across every settled rung of the same idle period.
+    /// The caller advances `ladder`, `idle_since`, and the memory
+    /// footprint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IllegalTransition`] from the state machine.
+    pub fn settle_downgrade(&mut self) -> Result<(), IllegalTransition> {
+        self.state = self.state.transition(LifecycleEvent::Downgrade)?;
+        Ok(())
     }
 
     /// The policy-facing view of this container.
@@ -215,6 +302,69 @@ mod tests {
         let err = c.apply(LifecycleEvent::Downgrade);
         assert!(err.is_err());
         assert_eq!(c.state, before);
+    }
+
+    #[test]
+    fn ladder_effective_state_walks_the_schedule() {
+        let t0 = Instant::from_micros(60_000_000);
+        let min = |m: u64| Micros::from_mins(m);
+        let st = LadderState {
+            ladder: TtlLadder {
+                ttls: [min(5), min(3), min(2)],
+                rungs: 3,
+            },
+            started: t0,
+            rung: 0,
+        };
+        // A downgrade at boundary b is visible strictly after b.
+        assert_eq!(st.effective_at(t0), Some((0, t0)));
+        assert_eq!(st.effective_at(t0 + min(5)), Some((0, t0)));
+        assert_eq!(
+            st.effective_at(t0 + min(5) + Micros::from_micros(1)),
+            Some((1, t0 + min(5)))
+        );
+        assert_eq!(st.effective_at(t0 + min(9)), Some((2, t0 + min(8))));
+        assert_eq!(st.effective_at(t0 + min(10)), Some((2, t0 + min(8))));
+        // Strictly past the death instant the eager chain has no
+        // container left.
+        assert_eq!(st.effective_at(t0 + min(10) + Micros::from_micros(1)), None);
+        // A never-expiring rung parks the walk.
+        let parked = LadderState {
+            ladder: TtlLadder {
+                ttls: [min(5), Micros::MAX, Micros::MAX],
+                rungs: 3,
+            },
+            started: t0,
+            rung: 0,
+        };
+        assert_eq!(parked.effective_at(t0 + min(500)), Some((1, t0 + min(5))));
+        // Boundary/last-rung helpers.
+        assert_eq!(st.next_boundary(t0), Some(t0 + min(5)));
+        assert!(!st.on_last_rung());
+        let last = LadderState { rung: 2, ..st };
+        assert!(last.on_last_rung());
+        assert_eq!(parked.next_boundary(t0), Some(t0 + min(5)));
+        let parked_rung1 = LadderState { rung: 1, ..parked };
+        assert_eq!(parked_rung1.next_boundary(t0 + min(5)), None);
+    }
+
+    #[test]
+    fn settle_downgrade_keeps_the_epoch() {
+        let mut c = fresh();
+        c.apply(LifecycleEvent::InitComplete {
+            language: Some(Language::Python),
+            owner: Some(FunctionId::new(0)),
+        })
+        .unwrap();
+        let e = c.epoch;
+        c.settle_downgrade().unwrap();
+        assert_eq!(c.epoch, e);
+        assert_eq!(c.layer(), Some(Layer::Lang));
+        assert_eq!(c.owner(), None);
+        c.settle_downgrade().unwrap();
+        assert_eq!(c.epoch, e);
+        assert_eq!(c.layer(), Some(Layer::Bare));
+        assert!(c.settle_downgrade().is_err());
     }
 
     #[test]

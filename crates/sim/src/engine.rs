@@ -10,7 +10,8 @@
 //! reuse eligibility, victims, pre-warm targets) is delegated to the
 //! policy, mirroring the OpenWhisk split described in §6.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,19 +21,28 @@ use rainbowcake_core::lifecycle::LifecycleEvent;
 use rainbowcake_core::mem::MemMb;
 use rainbowcake_core::policy::{
     ContainerView, Policy, PolicyCtx, PrewarmDecision, ReuseClass, ReuseScope, TimeoutDecision,
+    TtlLadder,
 };
 use rainbowcake_core::profile::{Catalog, FunctionProfile};
 use rainbowcake_core::time::{Instant, Micros};
-use rainbowcake_core::types::{ContainerId, FunctionId, Layer};
+use rainbowcake_core::types::{ContainerId, FunctionId, Language, Layer};
 use rainbowcake_metrics::{IdleOutcome, InvocationRecord, MetricsCollector, RunReport, StartType};
 use rainbowcake_trace::samplers::{lognormal_from_params, lognormal_params};
 use rainbowcake_trace::{Arrival, Trace};
 
 use crate::concurrency::transition_overhead;
-use crate::config::{DispatchMode, SimConfig};
-use crate::container::{AssignedInvocation, Container};
+use crate::config::{DispatchMode, SimConfig, TimerMode};
+use crate::container::{AssignedInvocation, Container, LadderState};
 use crate::event::{Event, EventKind, EventQueue};
 use crate::pool::Pool;
+
+/// A scheduled ladder-boundary settlement: `(boundary, arm_seq, id,
+/// epoch)`. `arm_seq` is a monotone counter stamped when the entry is
+/// pushed; since entries are pushed at exactly the sites the eager chain
+/// pushes its rung events, draining the heap in `(boundary, arm_seq)`
+/// order reproduces the eager chain's firing order — which keeps the
+/// f64 waste accumulation order (and thus the report bytes) identical.
+type SettleEntry = Reverse<(Instant, u64, ContainerId, u64)>;
 
 /// An invocation waiting for admission (memory pressure).
 #[derive(Debug, Clone, Copy)]
@@ -100,11 +110,54 @@ pub fn run_streaming_with_profile(
     horizon: Micros,
     config: &SimConfig,
 ) -> (RunReport, EngineProfile) {
+    run_streaming_profiled(
+        catalog,
+        policy,
+        arrivals,
+        horizon,
+        config,
+        EngineProfile::default(),
+    )
+}
+
+/// [`run_streaming_with_profile`] with a counts-only profile: event
+/// counts and completed invocations are tracked (one counter bump per
+/// grouped run, or per event in per-event dispatch) but handler timing
+/// is skipped, so the dispatch hot loop stays free of clock reads and
+/// the configured [`DispatchMode`] is honoured. This is how the sharded
+/// cluster pipeline surfaces events-per-invocation without distorting
+/// the throughput it measures.
+pub fn run_streaming_counted(
+    catalog: &Catalog,
+    policy: &mut dyn Policy,
+    arrivals: impl Iterator<Item = Arrival>,
+    horizon: Micros,
+    config: &SimConfig,
+) -> (RunReport, EngineProfile) {
+    run_streaming_profiled(
+        catalog,
+        policy,
+        arrivals,
+        horizon,
+        config,
+        EngineProfile::counting(),
+    )
+}
+
+fn run_streaming_profiled(
+    catalog: &Catalog,
+    policy: &mut dyn Policy,
+    arrivals: impl Iterator<Item = Arrival>,
+    horizon: Micros,
+    config: &SimConfig,
+    mut profile: EngineProfile,
+) -> (RunReport, EngineProfile) {
     let mut engine = Engine::new(catalog, policy, config, horizon);
-    let mut profile = EngineProfile::default();
     engine.run_streaming_loop(arrivals, Some(&mut profile));
     profile.history = engine.policy.history_stats().unwrap_or_default();
-    (engine.finish(), profile)
+    let report = engine.finish();
+    profile.invocations = report.invocations() as u64;
+    (report, profile)
 }
 
 /// Index of an event kind in [`EngineProfile`]'s arrays.
@@ -115,6 +168,7 @@ fn kind_rank(kind: &EventKind) -> usize {
         EventKind::ExecComplete { .. } => 2,
         EventKind::IdleTimeout { .. } => 3,
         EventKind::PrewarmFire { .. } => 4,
+        EventKind::LadderWake => 5,
     }
 }
 
@@ -124,36 +178,63 @@ fn kind_rank(kind: &EventKind) -> usize {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EngineProfile {
     /// Events handled, indexed like [`EngineProfile::KIND_NAMES`].
-    pub counts: [u64; 5],
+    pub counts: [u64; 6],
     /// Total handler wall-clock nanoseconds, same indexing.
-    pub nanos: [u64; 5],
+    pub nanos: [u64; 6],
+    /// Invocations the run completed (for [`Self::events_per_invocation`];
+    /// filled by the profiled entry points from the finished report).
+    pub invocations: u64,
     /// History-recorder query counters, if the policy keeps a recorder
     /// ([`Policy::history_stats`]); zeroed otherwise.
     pub history: HistoryStats,
+    /// When set, the dispatch loop bumps `counts` but never reads the
+    /// clock, leaving `nanos` zero ([`run_streaming_counted`]).
+    pub counting: bool,
 }
 
 impl EngineProfile {
-    /// Display names for the five event kinds, in array order.
-    pub const KIND_NAMES: [&'static str; 5] = [
+    /// Display names for the six event kinds, in array order.
+    pub const KIND_NAMES: [&'static str; 6] = [
         "Arrival",
         "InitComplete",
         "ExecComplete",
         "IdleTimeout",
         "PrewarmFire",
+        "LadderWake",
     ];
+
+    /// A counts-only profile: event counts and invocations are
+    /// recorded, handler timing is skipped entirely.
+    pub fn counting() -> Self {
+        Self {
+            counting: true,
+            ..Self::default()
+        }
+    }
 
     /// Merges another profile into this one (for multi-worker runs).
     pub fn merge(&mut self, other: &EngineProfile) {
-        for i in 0..5 {
+        for i in 0..6 {
             self.counts[i] += other.counts[i];
             self.nanos[i] += other.nanos[i];
         }
+        self.invocations += other.invocations;
         self.history.merge(&other.history);
     }
 
     /// Total events across all kinds.
     pub fn total_events(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// Dispatched events per completed invocation — the timer-pressure
+    /// figure of merit the lazy ladder path exists to shrink. Zero when
+    /// no invocation completed.
+    pub fn events_per_invocation(&self) -> f64 {
+        if self.invocations == 0 {
+            return 0.0;
+        }
+        self.total_events() as f64 / self.invocations as f64
     }
 }
 
@@ -174,7 +255,9 @@ pub fn run_with_profile(
     let mut profile = EngineProfile::default();
     engine.run_tick_batched(Some(&mut profile));
     profile.history = engine.policy.history_stats().unwrap_or_default();
-    (engine.finish(), profile)
+    let report = engine.finish();
+    profile.invocations = report.invocations() as u64;
+    (report, profile)
 }
 
 struct Engine<'a> {
@@ -185,6 +268,17 @@ struct Engine<'a> {
     events: EventQueue,
     rng: StdRng,
     metrics: MetricsCollector,
+    /// Pending ladder-boundary settlements, earliest first (see
+    /// [`SettleEntry`]). Entries go stale the same way timer events do
+    /// (epoch bump / removal) and are validated against the container's
+    /// live ladder state before settling.
+    settle: BinaryHeap<SettleEntry>,
+    /// Monotone stamp for [`SettleEntry`] ordering.
+    settle_seq: u64,
+    /// Earliest `LadderWake` currently in the event queue, if any —
+    /// wakes keep the admission queue draining at ladder boundaries
+    /// while memory pressure holds invocations back (lazy mode only).
+    wake_armed: Option<Instant>,
     pending: VecDeque<QueuedInvocation>,
     /// Arrival events currently in the queue during a streaming run.
     /// The feed loop keeps this positive while unfed arrivals remain,
@@ -243,6 +337,9 @@ impl<'a> Engine<'a> {
             } else {
                 MetricsCollector::new()
             },
+            settle: BinaryHeap::new(),
+            settle_seq: 0,
+            wake_armed: None,
             pending: VecDeque::new(),
             arrivals_in_queue: 0,
             horizon: Instant::ZERO + horizon,
@@ -277,9 +374,15 @@ impl<'a> Engine<'a> {
     }
 
     /// Advances the clock to `event.time` and runs its handler.
+    ///
+    /// Ladder boundaries strictly before the new tick are settled first
+    /// (idempotent for later events of the same tick), so every handler
+    /// observes the pool exactly as the eager per-rung chain would have
+    /// left it.
     fn dispatch_event(&mut self, event: Event) {
         debug_assert!(event.time >= self.now, "time must not run backwards");
         self.now = event.time;
+        self.settle_due(event.time, false);
         match event.kind {
             EventKind::Arrival { function } => self.handle_arrival(function),
             EventKind::InitComplete { container, epoch } => {
@@ -290,6 +393,7 @@ impl<'a> Engine<'a> {
                 self.handle_idle_timeout(container, epoch)
             }
             EventKind::PrewarmFire { function } => self.handle_prewarm_fire(function),
+            EventKind::LadderWake => self.handle_ladder_wake(),
         }
     }
 
@@ -314,6 +418,8 @@ impl<'a> Engine<'a> {
     /// Dispatches one tick's drained events in grouped runs of same-kind
     /// events (see [`Self::run_tick_batched`]).
     fn dispatch_batch(&mut self, batch: &[Event], mut profile: Option<&mut EngineProfile>) {
+        // Tick-start settlement — see `dispatch_event`.
+        self.settle_due(self.now, false);
         let mut start = 0;
         while start < batch.len() {
             let rank = kind_rank(&batch[start].kind);
@@ -323,7 +429,7 @@ impl<'a> Engine<'a> {
             }
             let timer = profile
                 .as_deref_mut()
-                .map(|p| (std::time::Instant::now(), p));
+                .map(|p| ((!p.counting).then(std::time::Instant::now), p));
             match batch[start].kind {
                 EventKind::Arrival { .. } => {
                     for event in &batch[start..end] {
@@ -365,10 +471,17 @@ impl<'a> Engine<'a> {
                         self.handle_prewarm_fire(function);
                     }
                 }
+                EventKind::LadderWake => {
+                    for _ in start..end {
+                        self.handle_ladder_wake();
+                    }
+                }
             }
             if let Some((t0, p)) = timer {
                 p.counts[rank] += (end - start) as u64;
-                p.nanos[rank] += t0.elapsed().as_nanos() as u64;
+                if let Some(t0) = t0 {
+                    p.nanos[rank] += t0.elapsed().as_nanos() as u64;
+                }
             }
             start = end;
         }
@@ -376,8 +489,8 @@ impl<'a> Engine<'a> {
 
     /// The streaming dispatch loop: interleaves feeding arrivals from a
     /// lazy iterator with dispatching ticks, honouring the configured
-    /// dispatch mode (profiled runs are tick-batched, mirroring
-    /// [`run_with_profile`]).
+    /// dispatch mode (timed profile runs are tick-batched, mirroring
+    /// [`run_with_profile`]; counts-only profiles honour the mode).
     ///
     /// Correctness invariant: before every `peek_time` the earliest
     /// unfed arrival's time is at or above the queue head, so the
@@ -399,8 +512,11 @@ impl<'a> Engine<'a> {
         // Clip exactly as `Trace::from_arrivals` clips; the stream is
         // time-sorted, so everything past the first late arrival is out.
         let mut arrivals = arrivals.take_while(|a| a.time <= horizon).peekable();
-        let tick_batched =
-            profile.is_some() || matches!(self.config.dispatch, DispatchMode::TickBatched);
+        // Timed profiles force tick-batched dispatch (their clock reads
+        // amortize over grouped runs); counts-only profiles honour the
+        // configured mode and count each popped event directly.
+        let tick_batched = profile.as_deref().is_some_and(|p| !p.counting)
+            || matches!(self.config.dispatch, DispatchMode::TickBatched);
         let mut batch: Vec<Event> = Vec::new();
         loop {
             if self.arrivals_in_queue == 0 {
@@ -428,12 +544,27 @@ impl<'a> Engine<'a> {
                 self.dispatch_batch(&batch, profile.as_deref_mut());
             } else {
                 let event = self.events.pop().expect("peeked head exists");
+                if let Some(p) = profile.as_deref_mut() {
+                    p.counts[kind_rank(&event.kind)] += 1;
+                }
                 self.dispatch_event(event);
             }
         }
     }
 
     fn finish(mut self) -> RunReport {
+        // Replay every outstanding ladder boundary, however far past the
+        // horizon — the eager chain's rung timers all eventually fire,
+        // and `record_waste` clips to the horizon either way. Settling
+        // re-pushes each survivor's next boundary, so this drains to a
+        // fixed point of parked (never-expiring) rungs and empties the
+        // heap. No admission drain: the wake chain handled queued work
+        // while the clock was still running.
+        while let Some(Reverse((b, _, id, epoch))) = self.settle.pop() {
+            if self.settle_entry_valid(b, id, epoch) {
+                self.settle_one(id, b);
+            }
+        }
         // Close the books: idle containers waste memory until the end of
         // the measurement window. The pool and the waste tracker are
         // disjoint fields, so the idle index is walked directly — no
@@ -572,6 +703,9 @@ impl<'a> Engine<'a> {
                 function: f,
                 arrival: self.now,
             });
+            // Under lazy timers the next memory release may be a ladder
+            // boundary with no event of its own — arm a wake for it.
+            self.arm_pending_wake();
         }
     }
 
@@ -790,6 +924,9 @@ impl<'a> Engine<'a> {
                 self.pool.resize(id, target_mem);
                 let epoch = {
                     let mut c = self.pool.get_mut(id).expect("reuse target exists");
+                    // The idle period ends here: pending settlement
+                    // entries and ladder timers die via the epoch bump.
+                    c.ladder = None;
                     if class == ReuseClass::SharedPacked {
                         c.apply(LifecycleEvent::Adopt { function: f })
                             .expect("packed container adoptable");
@@ -811,6 +948,7 @@ impl<'a> Engine<'a> {
                 self.pool.resize(id, target_mem);
                 let epoch = {
                     let mut c = self.pool.get_mut(id).expect("reuse target exists");
+                    c.ladder = None;
                     c.apply(LifecycleEvent::BeginUpgrade {
                         for_function: f,
                         target: Layer::User,
@@ -953,21 +1091,229 @@ impl<'a> Engine<'a> {
         self.drain_pending();
     }
 
-    /// Idle footprint after peeling the top layer off the container in
-    /// `view` (language-specific for Lang, universal for Bare). The
+    /// Idle footprint after peeling the top layer off a container at
+    /// `layer` (language-specific for Lang, universal for Bare). The
     /// per-language anchor profiles are precomputed at engine
     /// construction, so this is two array reads.
-    fn downgraded_footprint(&self, view: &rainbowcake_core::policy::ContainerView) -> MemMb {
-        let next = view
-            .layer
+    fn downgraded_footprint_parts(&self, layer: Layer, language: Option<Language>) -> MemMb {
+        let next = layer
             .downgrade()
             .expect("downgrade decisions only occur above Bare");
-        let anchor = view
-            .language
+        let anchor = language
             .and_then(|lang| self.anchor_by_lang[lang.index()])
             .or_else(|| self.catalog.iter().next())
             .expect("catalog is non-empty");
         anchor.memory_at(next)
+    }
+
+    /// [`Self::downgraded_footprint_parts`] from a policy view.
+    fn downgraded_footprint(&self, view: &ContainerView) -> MemMb {
+        self.downgraded_footprint_parts(view.layer, view.language)
+    }
+
+    // ------------------------------------------------------------------
+    // Lazy ladder settlement
+    //
+    // When a policy exposes its full downgrade schedule as a TtlLadder,
+    // the engine stops re-arming a timer per rung. Instead it keeps one
+    // settlement-heap entry per idle container (plus, in lazy mode, a
+    // single terminal IdleTimeout at the ladder's death) and replays
+    // every elapsed boundary — waste records, physical downgrades,
+    // terminations — the moment the clock next moves, before any
+    // handler can observe the pool. The eager mode pushes one
+    // IdleTimeout per rung instead and settles from the same heap, so
+    // both modes execute identical settlement sequences; they differ
+    // only in event multiplicity.
+    // ------------------------------------------------------------------
+
+    /// Whether a settlement-heap entry still describes the container's
+    /// live ladder state (not reused/repurposed/removed and still the
+    /// current rung's boundary).
+    fn settle_entry_valid(&self, b: Instant, id: ContainerId, epoch: u64) -> bool {
+        self.pool.get(id).is_some_and(|c| {
+            c.epoch == epoch
+                && c.is_idle()
+                && c.ladder
+                    .is_some_and(|ls| ls.next_boundary(c.idle_since) == Some(b))
+        })
+    }
+
+    /// Settles every pending ladder boundary up to `limit` — strictly
+    /// before it when `inclusive` is false (tick-start), at it too when
+    /// true (ladder-band handlers). Returns how many boundaries were
+    /// settled; stale entries are dropped for free.
+    fn settle_due(&mut self, limit: Instant, inclusive: bool) -> usize {
+        let mut settled = 0;
+        while let Some(&Reverse((b, _, id, epoch))) = self.settle.peek() {
+            let due = if inclusive { b <= limit } else { b < limit };
+            if !due {
+                break;
+            }
+            self.settle.pop();
+            if !self.settle_entry_valid(b, id, epoch) {
+                continue;
+            }
+            self.settle_one(id, b);
+            settled += 1;
+            // Oracle check (tick-start only, where the container has
+            // fully caught up to the clock): the settled rung must be
+            // exactly what the eager chain's schedule walk computes.
+            #[cfg(debug_assertions)]
+            if !inclusive {
+                if let Some(c) = self.pool.get(id) {
+                    if let Some(ls) = c.ladder {
+                        if ls.next_boundary(c.idle_since).is_none_or(|nb| nb >= limit) {
+                            debug_assert_eq!(
+                                ls.effective_at(limit),
+                                Some((ls.rung, c.idle_since)),
+                                "lazy settlement diverged from the eager-chain oracle"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        settled
+    }
+
+    /// Replays one ladder boundary: the idle interval that just expired
+    /// is recorded as never-hit waste, then the container either dies
+    /// (last rung) or physically downgrades one rung and re-enters the
+    /// settlement heap at its next boundary.
+    fn settle_one(&mut self, id: ContainerId, b: Instant) {
+        let (mem, idle_since, layer, language, last) = {
+            let c = self.pool.get(id).expect("validated settle target");
+            let ls = c.ladder.expect("validated ladder state");
+            (
+                c.memory,
+                c.idle_since,
+                c.layer().expect("idle container has a layer"),
+                c.language(),
+                ls.on_last_rung(),
+            )
+        };
+        self.record_waste(mem, idle_since, b, IdleOutcome::Miss);
+        if last {
+            self.pool.remove(id);
+            self.events.retire(id);
+            // `self.now` may already be past `b`; the policy must see
+            // the termination at the boundary the eager chain fired at.
+            let ctx = PolicyCtx {
+                now: b,
+                catalog: self.catalog,
+            };
+            self.policy.on_terminated(&ctx, id);
+            return;
+        }
+        let new_mem = self.downgraded_footprint_parts(layer, language);
+        {
+            let mut c = self.pool.get_mut(id).expect("settle target exists");
+            c.settle_downgrade()
+                .expect("ladder downgrades only above Bare");
+            c.idle_since = b;
+            c.packed.clear();
+            let ls = c.ladder.as_mut().expect("validated ladder state");
+            ls.rung += 1;
+        }
+        self.pool.resize(id, new_mem);
+        self.push_boundary(id);
+    }
+
+    /// Registers the container's current-rung boundary in the
+    /// settlement heap (and, in eager mode, as a per-rung timer event).
+    /// A never-expiring rung parks the container: no entry, and the
+    /// epoch is noted so any pending timer for it dies in-queue.
+    fn push_boundary(&mut self, id: ContainerId) {
+        let c = self.pool.get(id).expect("container exists");
+        let epoch = c.epoch;
+        let ls = c.ladder.expect("ladder container");
+        match ls.next_boundary(c.idle_since) {
+            Some(b) => {
+                let seq = self.settle_seq;
+                self.settle_seq += 1;
+                self.settle.push(Reverse((b, seq, id, epoch)));
+                if self.config.timer_mode == TimerMode::Eager {
+                    self.events.push_ladder(
+                        b,
+                        EventKind::IdleTimeout {
+                            container: id,
+                            epoch,
+                        },
+                    );
+                }
+            }
+            None => self.events.note(id, epoch),
+        }
+    }
+
+    /// Puts a freshly idle container on `ladder`: rung 0 starts at its
+    /// `idle_since`. Lazy mode arms exactly one terminal timer at the
+    /// ladder's death; eager mode arms per-rung timers via
+    /// [`Self::push_boundary`].
+    fn install_ladder(&mut self, id: ContainerId, ladder: TtlLadder) {
+        let (idle_since, epoch) = {
+            let mut c = self.pool.get_mut(id).expect("container exists");
+            c.ladder = Some(LadderState {
+                ladder,
+                started: c.idle_since,
+                rung: 0,
+            });
+            (c.idle_since, c.epoch)
+        };
+        self.push_boundary(id);
+        if self.config.timer_mode == TimerMode::Lazy {
+            match ladder.death(idle_since) {
+                Some(death) => self.events.push_ladder(
+                    death,
+                    EventKind::IdleTimeout {
+                        container: id,
+                        epoch,
+                    },
+                ),
+                None => self.events.note(id, epoch),
+            }
+        }
+        self.arm_pending_wake();
+    }
+
+    /// A `LadderWake` fired: settle everything due (boundary included —
+    /// this wake *is* the boundary) and re-admit queued work into any
+    /// freed memory. The drain is gated on an actual settlement so both
+    /// timer modes drain at exactly the same ticks (a stale wake, like a
+    /// stale eager rung timer, must not touch the admission queue or
+    /// the RNG stream).
+    fn handle_ladder_wake(&mut self) {
+        self.wake_armed = None;
+        if self.settle_due(self.now, true) > 0 {
+            self.drain_pending();
+        }
+        self.arm_pending_wake();
+    }
+
+    /// Arms a `LadderWake` at the earliest live ladder boundary, if the
+    /// admission queue is non-empty and no earlier wake is already in
+    /// flight. Without this, lazy mode would sit on queued invocations
+    /// across a boundary the eager chain's rung timer would have freed
+    /// memory at. Invalid heap heads are pruned on the way.
+    fn arm_pending_wake(&mut self) {
+        if self.pending.is_empty() || self.config.timer_mode == TimerMode::Eager {
+            return;
+        }
+        let target = loop {
+            let Some(&Reverse((b, _, id, epoch))) = self.settle.peek() else {
+                break None;
+            };
+            if self.settle_entry_valid(b, id, epoch) {
+                break Some(b);
+            }
+            self.settle.pop();
+        };
+        let Some(target) = target else { return };
+        if self.wake_armed.is_some_and(|w| w <= target) {
+            return;
+        }
+        self.wake_armed = Some(target);
+        self.events.push_ladder(target, EventKind::LadderWake);
     }
 
     fn handle_init_complete(&mut self, id: ContainerId, epoch: u64) {
@@ -1042,10 +1388,17 @@ impl<'a> Engine<'a> {
     }
 
     /// Asks the policy for the idle TTL of a freshly idle container and
-    /// schedules the timeout (unless the TTL is unbounded).
+    /// schedules the timeout (unless the TTL is unbounded). A policy
+    /// that exposes its whole downgrade schedule up front
+    /// ([`Policy::ttl_ladder`]) takes the ladder path instead: one
+    /// settlement entry plus a single terminal timer.
     fn arm_idle_ttl(&mut self, id: ContainerId) {
         let view = self.pool.view_of(id);
         let ctx = self.ctx();
+        if let Some(ladder) = self.policy.ttl_ladder(&ctx, &view) {
+            self.install_ladder(id, ladder);
+            return;
+        }
         let ttl = self.policy.on_idle(&ctx, &view);
         self.schedule_timeout(id, ttl);
     }
@@ -1068,9 +1421,20 @@ impl<'a> Engine<'a> {
     }
 
     fn handle_idle_timeout(&mut self, id: ContainerId, epoch: u64) {
-        match self.pool.get(id) {
-            Some(c) if c.epoch == epoch && c.is_idle() => {}
+        let on_ladder = match self.pool.get(id) {
+            Some(c) if c.epoch == epoch && c.is_idle() => c.ladder.is_some(),
             _ => return, // stale (container reused, repurposed, or gone)
+        };
+        if on_ladder {
+            // A ladder-band timer (lazy terminal or eager rung): every
+            // boundary at or before now settles here; the policy is not
+            // consulted (the schedule was fixed at idle time). Drain
+            // gating mirrors `handle_ladder_wake`.
+            if self.settle_due(self.now, true) > 0 {
+                self.drain_pending();
+            }
+            self.arm_pending_wake();
+            return;
         }
         let view = self.pool.view_of(id);
         let ctx = self.ctx();
@@ -1092,6 +1456,24 @@ impl<'a> Engine<'a> {
                 }
                 self.pool.resize(id, new_mem);
                 self.schedule_timeout(id, ttl);
+                self.drain_pending();
+            }
+            TimeoutDecision::Ladder(ladder) => {
+                // Rung 0 of the returned ladder names the layer below
+                // the current one: apply that downgrade eagerly (classic
+                // epoch-bumping semantics), then drive the rest of the
+                // idle period from the ladder.
+                self.record_waste(view.memory, view.idle_since, self.now, IdleOutcome::Miss);
+                let new_mem = self.downgraded_footprint(&view);
+                {
+                    let mut c = self.pool.get_mut(id).expect("container exists");
+                    c.apply(LifecycleEvent::Downgrade)
+                        .expect("policy downgrades only above Bare");
+                    c.idle_since = self.now;
+                    c.packed.clear();
+                }
+                self.pool.resize(id, new_mem);
+                self.install_ladder(id, ladder);
                 self.drain_pending();
             }
             TimeoutDecision::Repack {
@@ -1280,6 +1662,61 @@ mod tests {
             } else {
                 TimeoutDecision::Terminate
             }
+        }
+    }
+
+    /// [`TestPolicy`] with its downgrade chain exposed as a ladder: the
+    /// schedule `ttl_ladder` hands over is exactly what the classic
+    /// per-rung `on_timeout` chain of `TestPolicy { downgrade: true }`
+    /// walks, so the two should produce byte-identical runs.
+    struct LadderPolicy {
+        inner: TestPolicy,
+    }
+
+    impl LadderPolicy {
+        fn new(ttl: Micros) -> Self {
+            LadderPolicy {
+                inner: TestPolicy {
+                    ttl,
+                    share_layers: true,
+                    downgrade: true,
+                    prewarm_delay: None,
+                },
+            }
+        }
+    }
+
+    impl Policy for LadderPolicy {
+        fn name(&self) -> &'static str {
+            "TestLadder"
+        }
+        fn on_arrival(&mut self, ctx: &PolicyCtx<'_>, f: FunctionId) -> ArrivalResponse {
+            self.inner.on_arrival(ctx, f)
+        }
+        fn reuse_class(
+            &self,
+            ctx: &PolicyCtx<'_>,
+            f: FunctionId,
+            c: &ContainerView,
+        ) -> Option<ReuseClass> {
+            self.inner.reuse_class(ctx, f, c)
+        }
+        fn on_idle(&mut self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> Micros {
+            self.inner.on_idle(ctx, c)
+        }
+        fn ttl_ladder(&mut self, _: &PolicyCtx<'_>, c: &ContainerView) -> Option<TtlLadder> {
+            let rungs = match c.layer {
+                Layer::User => 3,
+                Layer::Lang => 2,
+                Layer::Bare => 1,
+            };
+            Some(TtlLadder {
+                ttls: [self.inner.ttl; 3],
+                rungs,
+            })
+        }
+        fn on_timeout(&mut self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> TimeoutDecision {
+            self.inner.on_timeout(ctx, c)
         }
     }
 
@@ -1521,6 +1958,199 @@ mod tests {
             &config(),
         );
         assert_eq!(streamed.to_json(), materialized.to_json());
+    }
+
+    #[test]
+    fn ladder_run_matches_classic_downgrade_chain() {
+        // One container walking User -> Lang -> Bare -> death, plus a
+        // mid-ladder SharedLang hit: the ladder path (in both timer
+        // modes) must reproduce the classic per-rung chain byte for
+        // byte when no admission queueing coalesces drains.
+        let cat = catalog();
+        let trace = trace_of(&[(0, 0), (30, 1), (200, 0)], 400);
+        let cfg = config();
+        let mut classic = TestPolicy {
+            ttl: Micros::from_secs(20),
+            share_layers: true,
+            downgrade: true,
+            prewarm_delay: None,
+        };
+        let reference = run(&cat, &mut classic, &trace, &cfg);
+        for timer_mode in [TimerMode::Lazy, TimerMode::Eager] {
+            let cfg = SimConfig {
+                timer_mode,
+                ..cfg.clone()
+            };
+            let mut ladder = LadderPolicy::new(Micros::from_secs(20));
+            let got = run(&cat, &mut ladder, &trace, &cfg);
+            assert_eq!(
+                got.records, reference.records,
+                "ladder records diverged ({timer_mode:?})"
+            );
+            assert_eq!(
+                got.waste, reference.waste,
+                "ladder waste diverged ({timer_mode:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_and_eager_ladders_are_byte_identical_under_pressure() {
+        use crate::event::QueueKind;
+        let cat = catalog();
+        // Tight memory forces admission queueing, so lazy wakes (not
+        // per-rung timers) must free queued work at ladder boundaries.
+        let trace = trace_of(&[(0, 0), (0, 1), (40, 0), (41, 1), (100, 1)], 400);
+        for queue in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            for dispatch in [DispatchMode::TickBatched, DispatchMode::PerEvent] {
+                let mut cfg = SimConfig {
+                    event_queue: queue,
+                    dispatch,
+                    ..SimConfig::default()
+                };
+                cfg.memory_capacity = MemMb::new(200);
+                cfg.timer_mode = TimerMode::Eager;
+                let mut p1 = LadderPolicy::new(Micros::from_secs(15));
+                let eager = run(&cat, &mut p1, &trace, &cfg);
+                cfg.timer_mode = TimerMode::Lazy;
+                let mut p2 = LadderPolicy::new(Micros::from_secs(15));
+                let lazy = run(&cat, &mut p2, &trace, &cfg);
+                assert_eq!(
+                    lazy.to_json(),
+                    eager.to_json(),
+                    "timer modes diverged ({queue:?}, {dispatch:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parked_ladder_settles_at_finish() {
+        // A ladder whose second rung never expires has no terminal
+        // timer; with no later events, the first boundary is settled by
+        // `finish`, and the waste books must still match the eager run
+        // whose rung timer fired during the loop.
+        let cat = catalog();
+        let trace = trace_of(&[(0, 0)], 120);
+        struct ParkedLadder;
+        impl Policy for ParkedLadder {
+            fn name(&self) -> &'static str {
+                "Parked"
+            }
+            fn on_idle(&mut self, _: &PolicyCtx<'_>, _: &ContainerView) -> Micros {
+                unreachable!("ladder policies skip on_idle")
+            }
+            fn ttl_ladder(&mut self, _: &PolicyCtx<'_>, _: &ContainerView) -> Option<TtlLadder> {
+                Some(TtlLadder {
+                    ttls: [Micros::from_secs(10), Micros::MAX, Micros::MAX],
+                    rungs: 2,
+                })
+            }
+            fn on_timeout(&mut self, _: &PolicyCtx<'_>, _: &ContainerView) -> TimeoutDecision {
+                unreachable!("ladder containers never consult on_timeout")
+            }
+        }
+        let mut results = Vec::new();
+        for timer_mode in [TimerMode::Lazy, TimerMode::Eager] {
+            let cfg = SimConfig {
+                timer_mode,
+                ..config()
+            };
+            let report = run(&cat, &mut ParkedLadder, &trace, &cfg);
+            assert!(report.waste.miss_total().value() > 0.0);
+            results.push(report.to_json());
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn lazy_timers_dispatch_fewer_events() {
+        let cat = catalog();
+        // Several full idle periods: eager walks 3 rung timers per
+        // period, lazy pays one terminal timer plus tick-start
+        // settlement.
+        let trace = trace_of(&[(0, 0), (100, 0), (200, 1), (300, 0)], 500);
+        let run_mode = |timer_mode| {
+            let cfg = SimConfig {
+                timer_mode,
+                ..config()
+            };
+            let mut p = LadderPolicy::new(Micros::from_secs(10));
+            run_with_profile(&cat, &mut p, &trace, &cfg)
+        };
+        let (lazy_report, lazy) = run_mode(TimerMode::Lazy);
+        let (eager_report, eager) = run_mode(TimerMode::Eager);
+        assert_eq!(lazy_report.to_json(), eager_report.to_json());
+        assert_eq!(lazy.invocations, 4);
+        assert_eq!(eager.invocations, 4);
+        assert!(
+            lazy.total_events() < eager.total_events(),
+            "lazy {} !< eager {}",
+            lazy.total_events(),
+            eager.total_events()
+        );
+        assert!(lazy.events_per_invocation() > 0.0);
+        assert!(lazy.events_per_invocation() < eager.events_per_invocation());
+    }
+
+    #[test]
+    fn ladder_timeout_decision_hands_off_to_lazy_schedule() {
+        // A policy that keeps rung 0 classic and returns the remaining
+        // schedule as TimeoutDecision::Ladder: behaviour must match the
+        // fully classic chain on a queue-free trace.
+        struct HandoffPolicy {
+            inner: TestPolicy,
+        }
+        impl Policy for HandoffPolicy {
+            fn name(&self) -> &'static str {
+                "Handoff"
+            }
+            fn reuse_class(
+                &self,
+                ctx: &PolicyCtx<'_>,
+                f: FunctionId,
+                c: &ContainerView,
+            ) -> Option<ReuseClass> {
+                self.inner.reuse_class(ctx, f, c)
+            }
+            fn on_idle(&mut self, ctx: &PolicyCtx<'_>, c: &ContainerView) -> Micros {
+                self.inner.on_idle(ctx, c)
+            }
+            fn on_timeout(&mut self, _: &PolicyCtx<'_>, c: &ContainerView) -> TimeoutDecision {
+                // Hand the platform the rest of the schedule: one rung
+                // per remaining layer below the current one.
+                let rungs = match c.layer {
+                    Layer::User => 2,
+                    Layer::Lang => 1,
+                    Layer::Bare => return TimeoutDecision::Terminate,
+                };
+                TimeoutDecision::Ladder(TtlLadder {
+                    ttls: [self.inner.ttl; 3],
+                    rungs,
+                })
+            }
+        }
+        let cat = catalog();
+        let trace = trace_of(&[(0, 0), (30, 1), (200, 0)], 400);
+        let cfg = config();
+        let mut classic = TestPolicy {
+            ttl: Micros::from_secs(20),
+            share_layers: true,
+            downgrade: true,
+            prewarm_delay: None,
+        };
+        let reference = run(&cat, &mut classic, &trace, &cfg);
+        let mut handoff = HandoffPolicy {
+            inner: TestPolicy {
+                ttl: Micros::from_secs(20),
+                share_layers: true,
+                downgrade: true,
+                prewarm_delay: None,
+            },
+        };
+        let got = run(&cat, &mut handoff, &trace, &cfg);
+        assert_eq!(got.records, reference.records);
+        assert_eq!(got.waste, reference.waste);
     }
 
     #[test]

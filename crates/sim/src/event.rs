@@ -61,6 +61,16 @@ pub enum EventKind {
         /// Function to consider pre-warming.
         function: FunctionId,
     },
+    /// A payload-free wake-up armed by the engine's lazy ladder
+    /// settlement (DESIGN.md §12): it fires at the earliest scheduled
+    /// downgrade boundary while invocations are queued, so the memory a
+    /// downgrade releases admits them at the same instant the eager
+    /// chain would have. Deliberately container-free — the container
+    /// whose boundary armed it may be reused meanwhile, but *another*
+    /// container's boundary may still need the wake, so the event must
+    /// never be cancelled as stale. A wake with nothing to do is a
+    /// harmless no-op.
+    LadderWake,
 }
 
 impl EventKind {
@@ -189,8 +199,8 @@ impl Wheel {
         lvl.occupied |= 1 << slot;
     }
 
-    fn pop(&mut self, stamps: &[Stamp], len: &mut usize) -> Option<Event> {
-        if self.advance_to_head(stamps, len) {
+    fn pop(&mut self, stamps: &[Stamp], len: &mut usize, dropped: &mut u64) -> Option<Event> {
+        if self.advance_to_head(stamps, len, dropped) {
             self.current.pop_front()
         } else {
             None
@@ -204,12 +214,14 @@ impl Wheel {
     /// [`EventQueue::peek_time`].
     ///
     /// Events the stamp table already proves stale are dropped right
-    /// here (decrementing `len`) instead of being cascaded onward: a
-    /// reused container's abandoned minutes-out `IdleTimeout` would
-    /// otherwise ride the cascade through every finer level just to be
-    /// discarded at the head. Dropping earlier than `pop` would is
-    /// unobservable — stamps never un-stale an event.
-    fn advance_to_head(&mut self, stamps: &[Stamp], len: &mut usize) -> bool {
+    /// here (decrementing `len` and counting into `dropped`) instead of
+    /// being cascaded onward: a reused container's abandoned minutes-out
+    /// `IdleTimeout` would otherwise ride the cascade through every
+    /// finer level just to be discarded at the head. Dropping earlier
+    /// than `pop` would is unobservable — stamps never un-stale an
+    /// event — and the count keeps `len + stale_dropped` an exact
+    /// backend-independent invariant (`tests/properties.rs`).
+    fn advance_to_head(&mut self, stamps: &[Stamp], len: &mut usize, dropped: &mut u64) -> bool {
         loop {
             if !self.current.is_empty() {
                 return true;
@@ -233,6 +245,7 @@ impl Wheel {
                 drained.retain(|e| {
                     let keep = !stale(stamps, e);
                     *len -= usize::from(!keep);
+                    *dropped += u64::from(!keep);
                     keep
                 });
                 drained.sort_unstable_by_key(|e| e.seq);
@@ -247,6 +260,7 @@ impl Wheel {
                 for event in drained {
                     if stale(stamps, &event) {
                         *len -= 1;
+                        *dropped += 1;
                     } else {
                         self.push(event);
                     }
@@ -267,6 +281,16 @@ impl Wheel {
 /// arrival feeding byte-identical to up-front pushing. 2^48 leaves both
 /// bands room for hundreds of trillions of events.
 const RUNTIME_SEQ_BASE: u64 = 1 << 48;
+
+/// First sequence number of the ladder band: terminal ladder timers,
+/// eager rung timers and [`EventKind::LadderWake`] wakes sort *after*
+/// every arrival and every runtime event sharing their tick. A ladder
+/// boundary at instant `b` therefore becomes visible strictly after
+/// all the tick-`b` work that was scheduled before it — the same
+/// within-tick position the old eager downgrade chain gave its
+/// re-armed timers — and the two timer modes order identically by
+/// construction.
+const LADDER_SEQ_BASE: u64 = 1 << 60;
 
 /// A per-container-slot generation stamp: events scheduled for an older
 /// slot generation (`seq`) or an older epoch of the current generation
@@ -311,7 +335,15 @@ pub struct EventQueue {
     next_seq: u64,
     /// Next arrival-band sequence number (starts at 0).
     next_arrival_seq: u64,
+    /// Next ladder-band sequence number (starts at
+    /// [`LADDER_SEQ_BASE`]).
+    next_ladder_seq: u64,
     len: usize,
+    /// Events discarded as provably stale instead of delivered. The
+    /// wheel drops mid-cascade and the heap drops at the head, so `len`
+    /// alone diverges between backends — but `len + stale_dropped` is
+    /// exact and backend-independent.
+    stale_dropped: u64,
     /// Generation stamps indexed by pool slot (`ContainerId::slot`).
     stamps: Vec<Stamp>,
 }
@@ -338,7 +370,9 @@ impl EventQueue {
             backend,
             next_seq: RUNTIME_SEQ_BASE,
             next_arrival_seq: 0,
+            next_ladder_seq: LADDER_SEQ_BASE,
             len: 0,
+            stale_dropped: 0,
             stamps: Vec::new(),
         }
     }
@@ -352,6 +386,25 @@ impl EventQueue {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.len += 1;
+        let event = Event { time, seq, kind };
+        match &mut self.backend {
+            Backend::Wheel(w) => w.push(event),
+            Backend::Heap(h) => h.push(event),
+        }
+    }
+
+    /// Schedules `kind` at `time` in the high (ladder) sequence band:
+    /// at any tick, ladder events sort after every arrival and every
+    /// runtime event regardless of when they were pushed — see
+    /// [`LADDER_SEQ_BASE`]. Used for ladder terminal timers, eager
+    /// rung timers and [`EventKind::LadderWake`].
+    pub fn push_ladder(&mut self, time: Instant, kind: EventKind) {
+        if let Some((container, epoch)) = kind.guard() {
+            self.note(container, epoch);
+        }
+        let seq = self.next_ladder_seq;
+        self.next_ladder_seq += 1;
         self.len += 1;
         let event = Event { time, seq, kind };
         match &mut self.backend {
@@ -393,18 +446,20 @@ impl EventQueue {
         let EventQueue {
             backend,
             len,
+            stale_dropped,
             stamps,
             ..
         } = self;
         match backend {
             Backend::Wheel(w) => loop {
-                if !w.advance_to_head(stamps, len) {
+                if !w.advance_to_head(stamps, len, stale_dropped) {
                     return None;
                 }
                 let event = *w.current.front().expect("advance_to_head returned true");
                 if stale(stamps, &event) {
                     w.current.pop_front();
                     *len -= 1;
+                    *stale_dropped += 1;
                     continue;
                 }
                 return Some(event.time);
@@ -414,6 +469,7 @@ impl EventQueue {
                 if stale(stamps, &event) {
                     h.pop();
                     *len -= 1;
+                    *stale_dropped += 1;
                     continue;
                 }
                 return Some(event.time);
@@ -460,16 +516,18 @@ impl EventQueue {
         let EventQueue {
             backend,
             len,
+            stale_dropped,
             stamps,
             ..
         } = self;
         loop {
             let event = match backend {
-                Backend::Wheel(w) => w.pop(stamps, len),
+                Backend::Wheel(w) => w.pop(stamps, len, stale_dropped),
                 Backend::Heap(h) => h.pop(),
             }?;
             *len -= 1;
             if stale(stamps, &event) {
+                *stale_dropped += 1;
                 continue;
             }
             return Some(event);
@@ -499,6 +557,7 @@ impl EventQueue {
         let EventQueue {
             backend,
             len,
+            stale_dropped,
             stamps,
             ..
         } = self;
@@ -509,7 +568,9 @@ impl EventQueue {
                 while let Some(event) = w.current.pop_front() {
                     debug_assert_eq!(event.time, tick);
                     *len -= 1;
-                    if !stale(stamps, &event) {
+                    if stale(stamps, &event) {
+                        *stale_dropped += 1;
+                    } else {
                         out.push(event);
                     }
                 }
@@ -518,7 +579,9 @@ impl EventQueue {
                 while h.peek().is_some_and(|e| e.time == tick) {
                     let event = h.pop().expect("peeked event exists");
                     *len -= 1;
-                    if !stale(stamps, &event) {
+                    if stale(stamps, &event) {
+                        *stale_dropped += 1;
+                    } else {
                         out.push(event);
                     }
                 }
@@ -538,6 +601,15 @@ impl EventQueue {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Events discarded as provably stale rather than delivered. The
+    /// two backends may disagree on `len` (the wheel drops stale events
+    /// mid-cascade, the heap only at the head) but always agree on
+    /// `len() + stale_dropped()` — the exact conservation law
+    /// `tests/properties.rs` checks.
+    pub fn stale_dropped(&self) -> u64 {
+        self.stale_dropped
     }
 }
 
@@ -903,6 +975,81 @@ mod tests {
             }
             assert_eq!(popped_lazy, popped_up_front, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn ladder_band_sorts_last_at_a_tick() {
+        // A ladder event at a tick pops after every arrival and every
+        // runtime event at that tick, even when pushed first.
+        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            let mut q = EventQueue::with_backend(kind);
+            q.push_ladder(t(10), EventKind::LadderWake);
+            q.push(t(10), prewarm(1));
+            q.push_arrival(t(10), FunctionId::new(7));
+            let order: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+            assert_eq!(
+                order,
+                vec![
+                    EventKind::Arrival {
+                        function: FunctionId::new(7)
+                    },
+                    prewarm(1),
+                    EventKind::LadderWake,
+                ],
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_wake_is_never_stale() {
+        let c = ContainerId::new(3);
+        let mut q = EventQueue::new();
+        q.push_ladder(t(10), EventKind::LadderWake);
+        // Retiring containers never touches a payload-free wake.
+        q.retire(c);
+        assert!(matches!(
+            q.pop().map(|e| e.kind),
+            Some(EventKind::LadderWake)
+        ));
+    }
+
+    #[test]
+    fn stale_drop_accounting_is_exact_across_backends() {
+        // The wheel drops stale events mid-cascade, the heap at the
+        // head, so `len` alone diverges — but delivered events plus
+        // `len + stale_dropped` is conserved identically.
+        let c = ContainerId::from_parts(1, 2);
+        let mut wheel = EventQueue::with_backend(QueueKind::TimerWheel);
+        let mut heap = EventQueue::with_backend(QueueKind::BinaryHeap);
+        for q in [&mut wheel, &mut heap] {
+            for i in 0..4u64 {
+                q.push(
+                    t(1_000_000 + i),
+                    EventKind::IdleTimeout {
+                        container: c,
+                        epoch: i,
+                    },
+                );
+            }
+            q.push(t(5), prewarm(0));
+            q.push(t(2_000_000), prewarm(1));
+            // Invalidate epochs < 3; three of the four timeouts die.
+            q.note(c, 3);
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            assert_eq!(
+                wheel.len() as u64 + wheel.stale_dropped(),
+                heap.len() as u64 + heap.stale_dropped(),
+            );
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(wheel.stale_dropped(), 3);
+        assert_eq!(heap.stale_dropped(), 3);
     }
 
     #[test]

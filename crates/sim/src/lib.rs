@@ -43,5 +43,8 @@ pub mod event;
 pub mod pool;
 pub mod tiered;
 
-pub use config::{CheckpointConfig, DispatchMode, SimConfig};
-pub use engine::{run, run_streaming, run_streaming_with_profile, run_with_profile, EngineProfile};
+pub use config::{CheckpointConfig, DispatchMode, SimConfig, TimerMode};
+pub use engine::{
+    run, run_streaming, run_streaming_counted, run_streaming_with_profile, run_with_profile,
+    EngineProfile,
+};

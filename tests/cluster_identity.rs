@@ -18,14 +18,22 @@ use rainbowcake::sim::cluster::{
     run_cluster, run_cluster_streaming, ClusterReport, LocalitySharingLoad,
 };
 use rainbowcake::sim::event::QueueKind;
+use rainbowcake::sim::TimerMode;
 use rainbowcake_bench::{make_policy, Testbed, BASELINE_NAMES};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// The sequential materialized reference for `name` on `bed`.
-fn sequential(bed: &Testbed, name: &str, kind: QueueKind, shards: usize) -> String {
+fn sequential_timers(
+    bed: &Testbed,
+    name: &str,
+    kind: QueueKind,
+    timers: TimerMode,
+    shards: usize,
+) -> String {
     let mut config = bed.config.clone();
     config.event_queue = kind;
+    config.timer_mode = timers;
     let mut router = LocalitySharingLoad::default();
     let mut factory = || -> Box<dyn Policy> { make_policy(name, &bed.catalog) };
     run_cluster(
@@ -39,10 +47,22 @@ fn sequential(bed: &Testbed, name: &str, kind: QueueKind, shards: usize) -> Stri
     .to_json()
 }
 
+/// [`sequential_timers`] at the default (lazy) timer mode.
+fn sequential(bed: &Testbed, name: &str, kind: QueueKind, shards: usize) -> String {
+    sequential_timers(bed, name, kind, TimerMode::default(), shards)
+}
+
 /// The sharded streaming pipeline for `name` on `bed`.
-fn streamed(bed: &Testbed, name: &str, kind: QueueKind, shards: usize) -> ClusterReport {
+fn streamed_timers(
+    bed: &Testbed,
+    name: &str,
+    kind: QueueKind,
+    timers: TimerMode,
+    shards: usize,
+) -> ClusterReport {
     let mut config = bed.config.clone();
     config.event_queue = kind;
+    config.timer_mode = timers;
     let mut router = LocalitySharingLoad::default();
     let factory = || -> Box<dyn Policy> { make_policy(name, &bed.catalog) };
     run_cluster_streaming(
@@ -55,6 +75,11 @@ fn streamed(bed: &Testbed, name: &str, kind: QueueKind, shards: usize) -> Cluste
         &mut router,
     )
     .report
+}
+
+/// [`streamed_timers`] at the default (lazy) timer mode.
+fn streamed(bed: &Testbed, name: &str, kind: QueueKind, shards: usize) -> ClusterReport {
+    streamed_timers(bed, name, kind, TimerMode::default(), shards)
 }
 
 #[test]
@@ -79,6 +104,38 @@ fn full_suite_is_byte_identical_across_shard_counts_and_backends() {
                     streamed(&bed, name, kind, shards).to_json(),
                     reference,
                     "{name}: streaming pipeline diverged at {shards} shards ({kind:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lazy_timers_match_eager_across_shards_and_backends() {
+    // The timer-mode axis through the cluster pipeline: RainbowCake is
+    // the policy that actually exercises the three-rung ladder, so its
+    // lazy runs must match the eager per-rung chain at every shard
+    // count, on both backends, sequentially and streamed.
+    let bed = Testbed::paper_hours(1);
+    for shards in SHARD_COUNTS {
+        let reference = sequential_timers(
+            &bed,
+            "RainbowCake",
+            QueueKind::BinaryHeap,
+            TimerMode::Eager,
+            shards,
+        );
+        for kind in [QueueKind::BinaryHeap, QueueKind::TimerWheel] {
+            for timers in [TimerMode::Lazy, TimerMode::Eager] {
+                assert_eq!(
+                    sequential_timers(&bed, "RainbowCake", kind, timers, shards),
+                    reference,
+                    "sequential timer modes diverged at {shards} shards ({kind:?}, {timers:?})"
+                );
+                assert_eq!(
+                    streamed_timers(&bed, "RainbowCake", kind, timers, shards).to_json(),
+                    reference,
+                    "streamed timer modes diverged at {shards} shards ({kind:?}, {timers:?})"
                 );
             }
         }

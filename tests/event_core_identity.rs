@@ -11,7 +11,7 @@
 //! future-event list, the container store, and the dispatch loop.
 
 use rainbowcake::sim::event::QueueKind;
-use rainbowcake::sim::DispatchMode;
+use rainbowcake::sim::{DispatchMode, TimerMode};
 use rainbowcake_bench::{parallel, Testbed, BASELINE_NAMES};
 
 /// Serializes every report of a run set to its exact JSON bytes.
@@ -19,10 +19,16 @@ fn fingerprints(reports: &[rainbowcake_metrics::RunReport]) -> Vec<String> {
     reports.iter().map(|r| r.to_json()).collect()
 }
 
-/// Runs the full suite on `bed` with the given backend and dispatch
-/// mode across `threads` workers (0 = sequential on the calling
-/// thread).
-fn suite(bed: &Testbed, kind: QueueKind, dispatch: DispatchMode, threads: usize) -> Vec<String> {
+/// Runs the full suite on `bed` with the given backend, dispatch mode,
+/// and timer mode across `threads` workers (0 = sequential on the
+/// calling thread).
+fn suite_timers(
+    bed: &Testbed,
+    kind: QueueKind,
+    dispatch: DispatchMode,
+    timers: TimerMode,
+    threads: usize,
+) -> Vec<String> {
     let mut bed_kind = Testbed {
         catalog: bed.catalog.clone(),
         trace: bed.trace.clone(),
@@ -30,6 +36,7 @@ fn suite(bed: &Testbed, kind: QueueKind, dispatch: DispatchMode, threads: usize)
     };
     bed_kind.config.event_queue = kind;
     bed_kind.config.dispatch = dispatch;
+    bed_kind.config.timer_mode = timers;
     let reports = if threads == 0 {
         bed_kind.run_all_sequential()
     } else {
@@ -43,6 +50,11 @@ fn suite(bed: &Testbed, kind: QueueKind, dispatch: DispatchMode, threads: usize)
         )
     };
     fingerprints(&reports)
+}
+
+/// [`suite_timers`] at the default (lazy) timer mode.
+fn suite(bed: &Testbed, kind: QueueKind, dispatch: DispatchMode, threads: usize) -> Vec<String> {
+    suite_timers(bed, kind, dispatch, TimerMode::default(), threads)
 }
 
 #[test]
@@ -69,5 +81,45 @@ fn full_suite_is_byte_identical_across_backends_and_threads() {
         suite(&bed, QueueKind::BinaryHeap, DispatchMode::TickBatched, 4),
         reference,
         "heap backend diverged across dispatch modes and thread counts"
+    );
+}
+
+#[test]
+fn lazy_timers_are_byte_identical_to_the_eager_chain() {
+    let bed = Testbed::paper_8h();
+    // The eager per-rung chain on the heap backend, one event at a
+    // time, is the behavioural reference for the lazy terminal-timer
+    // path: every policy — RainbowCake's three-rung ladder above all —
+    // must produce the same bytes with 3x fewer timer events.
+    let reference = suite_timers(
+        &bed,
+        QueueKind::BinaryHeap,
+        DispatchMode::PerEvent,
+        TimerMode::Eager,
+        0,
+    );
+    assert_eq!(reference.len(), BASELINE_NAMES.len());
+    for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+        for dispatch in [DispatchMode::PerEvent, DispatchMode::TickBatched] {
+            for timers in [TimerMode::Lazy, TimerMode::Eager] {
+                assert_eq!(
+                    suite_timers(&bed, kind, dispatch, timers, 0),
+                    reference,
+                    "timer modes diverged ({kind:?}, {dispatch:?}, {timers:?})"
+                );
+            }
+        }
+    }
+    // And through the parallel executor at the default configuration.
+    assert_eq!(
+        suite_timers(
+            &bed,
+            QueueKind::TimerWheel,
+            DispatchMode::TickBatched,
+            TimerMode::Lazy,
+            4,
+        ),
+        reference,
+        "lazy timers diverged under the parallel executor"
     );
 }
